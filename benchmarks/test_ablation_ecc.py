@@ -1,0 +1,55 @@
+"""Ablation: error correction moves the MLC FeFET reliability frontier.
+
+Figure 13 finds MLC FeFET acceptable only at large cell sizes.  This bench
+asks the follow-on co-design question: with standard on-chip ECC in the
+loop, how far down does the acceptable cell size move, and at what storage
+overhead?
+"""
+
+from repro.faults import DECTED_64, SECDED_64, fefet_mlc_error_rate
+
+#: Accuracy-preserving raw-BER budget for int8 DNN weights (from the
+#: Figure 13 study: 2e-4 passes, 7e-3 fails).
+TARGET_BER = 5e-4
+
+AREAS_F2 = (103.0, 64.0, 40.0, 24.0, 16.0, 8.0, 4.0, 2.0)
+
+
+def _frontier():
+    verdicts = {}
+    for area in AREAS_F2:
+        raw = fefet_mlc_error_rate(area)
+        verdicts[area] = {
+            "raw": raw,
+            "none": raw <= TARGET_BER,
+            "secded": SECDED_64.corrected_ber(raw) <= TARGET_BER,
+            "dected": DECTED_64.corrected_ber(raw) <= TARGET_BER,
+        }
+    return verdicts
+
+
+def test_ablation_ecc_frontier(benchmark):
+    verdicts = benchmark.pedantic(_frontier, rounds=1, iterations=1)
+
+    print("\n=== Ablation: smallest acceptable MLC FeFET cell vs ECC ===")
+    print(f"{'area F^2':>9s} {'raw BER':>10s} {'none':>6s} {'secded':>7s} {'dected':>7s}")
+    for area, v in verdicts.items():
+        print(f"{area:9.0f} {v['raw']:10.2e} {str(v['none']):>6s} "
+              f"{str(v['secded']):>7s} {str(v['dected']):>7s}")
+
+    def smallest_ok(key):
+        ok = [a for a, v in verdicts.items() if v[key]]
+        return min(ok) if ok else float("inf")
+
+    no_ecc = smallest_ok("none")
+    secded = smallest_ok("secded")
+    dected = smallest_ok("dected")
+    print(f"\nsmallest acceptable cell: none={no_ecc} F^2, "
+          f"secded={secded} F^2 (+{SECDED_64.overhead:.0%} storage), "
+          f"dected={dected} F^2 (+{DECTED_64.overhead:.0%} storage)")
+
+    # Stronger correction strictly extends the acceptable range downward...
+    assert dected <= secded <= no_ecc
+    assert secded < no_ecc
+    # ...but no standard code rescues the smallest (2 F^2) cells.
+    assert not verdicts[2.0]["dected"]

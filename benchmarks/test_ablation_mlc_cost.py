@@ -1,0 +1,44 @@
+"""Ablation: the cost side of multi-level cells.
+
+MLC doubles density but pays program-verify write loops and multi-step
+sensing.  This bench quantifies the trade per technology so the Figure 13
+density gains can be read against their performance price.
+"""
+
+from repro.cells import TechnologyClass, tentpoles_for
+from repro.nvsim import OptimizationTarget, characterize
+from repro.units import mb
+
+TECHS = (TechnologyClass.RRAM, TechnologyClass.CTT, TechnologyClass.FEFET)
+
+
+def _run():
+    rows = []
+    for tech in TECHS:
+        cell = tentpoles_for(tech).optimistic
+        slc = characterize(cell, mb(8), 22, OptimizationTarget.READ_EDP)
+        mlc = characterize(cell, mb(8), 22, OptimizationTarget.READ_EDP,
+                           bits_per_cell=2)
+        rows.append((tech.value, slc, mlc))
+    return rows
+
+
+def test_ablation_mlc_cost(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print("\n=== Ablation: SLC vs 2-bit MLC cost/benefit (8 MB) ===")
+    print(f"{'tech':6s} {'density x':>10s} {'tR x':>8s} {'tW x':>8s} {'eW x':>8s}")
+    for tech, slc, mlc in rows:
+        density_gain = mlc.density_mbit_per_mm2 / slc.density_mbit_per_mm2
+        read_cost = mlc.read_latency / slc.read_latency
+        write_cost = mlc.write_latency / slc.write_latency
+        energy_cost = mlc.write_energy / slc.write_energy
+        print(f"{tech:6s} {density_gain:10.2f} {read_cost:8.2f} "
+              f"{write_cost:8.2f} {energy_cost:8.2f}")
+
+        # Density improves substantially but sub-linearly (periphery does
+        # not shrink); writes pay the verify loop; reads pay extra steps.
+        assert 1.4 < density_gain <= 2.05, tech
+        assert read_cost > 1.0, tech
+        assert write_cost > 1.1, tech
+        assert energy_cost > 1.0, tech

@@ -1,0 +1,36 @@
+"""Ablation: retention limits on the intermittent use case.
+
+Figure 7 rewards dense technologies at low wake-up rates — but several
+dense candidates retain data for much less than a day.  This bench enforces
+retention: which technologies need scrub wake-ups at each inference rate,
+and does scrubbing overturn any energy win?
+"""
+
+from repro.studies import retention_study, scrub_burdened_technologies
+from repro.units import mb
+
+
+def test_ablation_retention_enforced(benchmark):
+    table = benchmark.pedantic(
+        retention_study, kwargs={"capacity_bytes": mb(8)}, rounds=1, iterations=1
+    )
+
+    print("\n=== Ablation: scrubbing burden vs wake-up rate (8 MB) ===")
+    for rate in (1.0, 10.0, 1e3, 1e5):
+        burdened = sorted(scrub_burdened_technologies(table, rate))
+        print(f"{rate:8.0f}/day -> scrubbing needed: {burdened}")
+
+    # Daily wake-ups: the short-retention pessimistic cells need scrubbing.
+    daily = scrub_burdened_technologies(table, 1.0)
+    assert "RRAM" in daily  # pessimistic RRAM retains ~1e3 s
+    # STT (1e8 s retention) never scrubs.
+    assert "STT" not in scrub_burdened_technologies(table, 1.0)
+    # Fast wake-up rates amortize retention entirely.
+    assert scrub_burdened_technologies(table, 1e5) == set()
+
+    # Where scrubbing is needed, it can dominate the sleep power — the
+    # energy story of Figure 7 must be read against retention.
+    dominated = [r for r in table if r["scrub_dominates_sleep"]]
+    print(f"{len(dominated)} (cell, rate) points where scrub power exceeds "
+          "sleep power")
+    assert dominated

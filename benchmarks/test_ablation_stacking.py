@@ -1,0 +1,40 @@
+"""Ablation: DESTINY-style 3D stacking of RRAM.
+
+Quantifies what monolithic stacking buys on top of the planar
+characterization the paper's studies use: density multiples, the latency
+effect of a smaller footprint vs. layer-select overhead, and the leakage
+reduction from the area-proportional component.
+"""
+
+from repro.cells import TechnologyClass, tentpoles_for
+from repro.nvsim import stacking_sweep
+from repro.units import mb
+
+
+def _run():
+    cell = tentpoles_for(TechnologyClass.RRAM).optimistic
+    return stacking_sweep(cell, mb(16), max_layers=8)
+
+
+def test_ablation_3d_stacking(benchmark):
+    sweep = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print("\n=== Ablation: monolithic 3D RRAM (16 MB) ===")
+    planar = sweep[0]
+    for array in sweep:
+        layers = array.cell.name.split("3D")[-1] if "3D" in array.cell.name else "1"
+        print(f"layers={layers:>2s} area={array.area * 1e6:7.3f}mm2 "
+              f"density={array.density_mbit_per_mm2:7.1f}Mb/mm2 "
+              f"tR={array.read_latency * 1e9:5.2f}ns "
+              f"eR={array.read_energy * 1e12:6.2f}pJ "
+              f"leak={array.leakage_power * 1e3:6.3f}mW")
+
+    eight = sweep[-1]
+    # Eight layers: >2.5x density, smaller footprint, lower leakage.
+    assert eight.density_mbit_per_mm2 > 2.5 * planar.density_mbit_per_mm2
+    assert eight.area < 0.4 * planar.area
+    assert eight.leakage_power < planar.leakage_power
+    # Latency stays in the same class (footprint gain ~ offsets via cost).
+    assert eight.read_latency < 1.3 * planar.read_latency
+    # Density gains are sub-linear in layer count (periphery cannot stack).
+    assert eight.density_mbit_per_mm2 < 8 * planar.density_mbit_per_mm2

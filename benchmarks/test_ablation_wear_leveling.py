@@ -1,0 +1,55 @@
+"""Ablation: lifetime sensitivity to wear-levelling quality.
+
+Every lifetime in Figures 8/9 assumes ideal levelling.  This bench sweeps
+the levelling efficiency to show how the RRAM-not-viable-as-LLC conclusion
+hardens (and how much slack STT has).
+"""
+
+from repro.cells import TechnologyClass, tentpoles_for
+from repro.core import lifetime_seconds
+from repro.nvsim import OptimizationTarget, characterize
+from repro.traffic import benchmark_by_name, spec_traffic
+from repro.units import SECONDS_PER_YEAR, mb
+
+EFFICIENCIES = (1.0, 0.5, 0.2, 0.05)
+
+
+def _run():
+    traffic = spec_traffic(benchmark_by_name("619.lbm_s"))
+    rows = {}
+    for tech in (TechnologyClass.RRAM, TechnologyClass.STT,
+                 TechnologyClass.PCM, TechnologyClass.FEFET):
+        array = characterize(
+            tentpoles_for(tech).optimistic, mb(16), 22,
+            OptimizationTarget.READ_EDP, access_bits=512,
+        )
+        rows[tech.value] = {
+            eff: lifetime_seconds(array, traffic, wear_leveling_efficiency=eff)
+            for eff in EFFICIENCIES
+        }
+    return rows
+
+
+def test_ablation_wear_leveling(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print("\n=== Ablation: lifetime (years) vs wear-levelling efficiency ===")
+    print(f"{'tech':6s} " + "  ".join(f"eff={e:<5g}" for e in EFFICIENCIES))
+    for tech, by_eff in rows.items():
+        cells = []
+        for eff in EFFICIENCIES:
+            value = by_eff[eff]
+            cells.append("unlimited" if value is None
+                         else f"{value / SECONDS_PER_YEAR:9.2f}")
+        print(f"{tech:6s} " + "  ".join(f"{c:>9s}" for c in cells))
+
+    # Lifetime scales linearly with levelling efficiency.
+    rram = rows["RRAM"]
+    assert rram[1.0] is not None
+    assert rram[0.5] == rram[1.0] * 0.5
+    # RRAM is already sub-year at ideal levelling — the paper's conclusion
+    # is robust to the assumption; STT never becomes the bottleneck even at
+    # 5% levelling efficiency.
+    assert rram[1.0] < 1.0 * SECONDS_PER_YEAR
+    stt = rows["STT"]
+    assert stt[0.05] is None or stt[0.05] > 50 * SECONDS_PER_YEAR

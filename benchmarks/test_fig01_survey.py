@@ -1,0 +1,25 @@
+"""Figure 1: eNVM publication counts per technology, 2016-2020."""
+
+from repro.cells import SURVEY_YEARS, TechnologyClass, publication_counts, total_publications
+
+
+def test_fig01_publication_counts(benchmark):
+    counts = benchmark(publication_counts)
+
+    print("\n=== Figure 1: publications per technology per year ===")
+    print("tech   " + "  ".join(str(y) for y in SURVEY_YEARS) + "  total")
+    totals = {}
+    for tech, per_year in counts.items():
+        totals[tech] = sum(per_year.values())
+        row = "  ".join(f"{per_year[y]:4d}" for y in SURVEY_YEARS)
+        print(f"{tech.value:6s} {row}  {totals[tech]:5d}")
+
+    # Shape contract: 122 surveyed publications; RRAM and STT dominate;
+    # ferroelectric technologies (FeFET + FeRAM) grow over the window.
+    assert total_publications() == 122
+    ranked = sorted(totals, key=totals.get, reverse=True)
+    assert ranked[0] is TechnologyClass.RRAM
+    assert ranked[1] is TechnologyClass.STT
+    ferro_2016 = counts[TechnologyClass.FEFET][2016] + counts[TechnologyClass.FERAM][2016]
+    ferro_2020 = counts[TechnologyClass.FEFET][2020] + counts[TechnologyClass.FERAM][2020]
+    assert ferro_2020 >= 2 * ferro_2016

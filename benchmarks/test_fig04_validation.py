@@ -1,0 +1,24 @@
+"""Figure 4: tentpole STT arrays bracket a published 1 MB STT-MRAM macro."""
+
+from repro.studies import tentpole_validation
+
+
+def test_fig04_tentpole_validation(benchmark):
+    results = benchmark(tentpole_validation)
+
+    print("\n=== Figure 4: tentpole STT vs published 1 MB array ===")
+    for r in results:
+        print(
+            f"{r.metric:16s} optimistic={r.optimistic:10.3e} "
+            f"pessimistic={r.pessimistic:10.3e} published={r.published:10.3e} "
+            f"covered={r.covered} similar-magnitude={r.within_order_of_magnitude}"
+        )
+
+    assert results, "validation must compare at least one metric"
+    # The paper's criterion: tentpoles produce metrics "both higher and
+    # lower, but similar in magnitude" to the reference array.
+    for r in results:
+        assert r.covered or r.within_order_of_magnitude, r.metric
+    # Latencies are strictly bracketed.
+    latency = [r for r in results if r.metric == "read_latency"][0]
+    assert latency.covered

@@ -1,0 +1,35 @@
+"""Table I: per-technology ranges of key cell characteristics."""
+
+from repro.cells import (
+    VALIDATED_TECHNOLOGIES,
+    TechnologyClass,
+    parameter_ranges,
+)
+
+
+def _all_ranges():
+    return {tech: parameter_ranges(tech) for tech in VALIDATED_TECHNOLOGIES}
+
+
+def test_tab1_parameter_ranges(benchmark):
+    ranges = benchmark(_all_ranges)
+
+    print("\n=== Table I: surveyed parameter ranges per technology ===")
+    for tech, params in ranges.items():
+        print(f"\n{tech.value}:")
+        for name, r in sorted(params.items()):
+            print(f"  {name:20s} {r.minimum:10.3e} .. {r.maximum:10.3e} "
+                  f"({r.n_reported} reported)")
+
+    # Shape contract mirroring Table I's headline rows:
+    # cell areas (F^2)
+    assert ranges[TechnologyClass.FEFET]["area_f2"].minimum <= 2.0 + 1e-9
+    assert ranges[TechnologyClass.FEFET]["area_f2"].maximum >= 103.0 - 1e-9
+    assert ranges[TechnologyClass.PCM]["area_f2"].contains(30.0)
+    assert ranges[TechnologyClass.STT]["area_f2"].contains(40.0)
+    # write latency spans: PCM reaches tens of microseconds, CTT seconds.
+    assert ranges[TechnologyClass.PCM]["write_latency"].maximum >= 1e-5
+    assert ranges[TechnologyClass.CTT]["write_latency"].maximum >= 1.0
+    # STT endurance reaches 1e15 while RRAM stays orders of magnitude lower.
+    assert ranges[TechnologyClass.STT]["endurance_cycles"].maximum >= 1e14
+    assert ranges[TechnologyClass.RRAM]["endurance_cycles"].maximum <= 1e8

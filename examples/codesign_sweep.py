@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Co-design studies (Section V): devices, organizations, MLC, buffering.
+
+Four what-if explorations on top of the same engine:
+  1. back-gated FeFET (Figure 11) — does a 10 ns-write FeFET close the gap?
+  2. area-efficiency vs latency (Figure 12),
+  3. SLC vs MLC reliability with fault injection (Figure 13),
+  4. write buffering (Figure 14).
+
+Run:  python examples/codesign_sweep.py
+"""
+
+from repro.core.writebuffer import DEFAULT_SCENARIOS
+from repro.studies import (
+    acceptable,
+    area_efficiency_study,
+    back_gated_fefet_study,
+    low_efficiency_latency_advantage,
+    mlc_study,
+    performant_technologies,
+    writebuffer_study,
+)
+
+# 1 — back-gated FeFET
+table = back_gated_fefet_study(points_per_axis=3)
+print("Back-gated FeFET vs standard FeFET vs SRAM (8 MB, graph+SPEC traffic)")
+for cell in table.unique("cell"):
+    rows = table.where(cell=cell)
+    fast = sum(1 for r in rows if r["memory_latency_s_per_s"] <= 1.0)
+    median_power = sorted(rows.column("total_power_mw"))[len(rows) // 2]
+    print(f"  {cell:22s} meets-latency {fast:3d}/{len(rows)}  "
+          f"median power {median_power:8.3f} mW")
+
+# 2 — area efficiency vs performance
+cloud = area_efficiency_study(traffic_points=2)
+medians = low_efficiency_latency_advantage(cloud, efficiency_threshold=0.5)
+print(f"\nOrganization cloud ({len(cloud)} rows): "
+      f"median latency low-eff={medians['low_eff_median']:.4f} s/s vs "
+      f"high-eff={medians['high_eff_median']:.4f} s/s")
+
+# 3 — MLC reliability
+mlc = mlc_study(trials=2)
+ok = acceptable(mlc)
+print("\nSLC vs MLC under fault injection (resnet18 proxy):")
+for row in mlc.sort_by("cell"):
+    verdict = "OK " if row["accuracy_ok"] else "FAIL"
+    print(f"  {row['cell']:16s} bpc={row['bits_per_cell']} "
+          f"ber={row['cell_error_rate']:9.2e} acc={row['accuracy']:.3f} {verdict}")
+    break_after = None  # one row per (cell,bpc) is enough per capacity
+print(f"  -> {len(ok)}/{len(mlc)} configurations keep accuracy")
+
+# 4 — write buffering
+wb = writebuffer_study()
+print("\nWrite buffering unlocks technologies (Facebook-Graph-BFS):")
+for scenario in DEFAULT_SCENARIOS:
+    techs = sorted(
+        performant_technologies(wb, "Facebook-Graph-BFS", scenario.label)
+    )
+    print(f"  {scenario.label:16s} -> {techs}")

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Extending the database: evaluate a user-defined cell via the config API.
+
+Shows the JSON-config workflow the paper's artifact uses
+(``python run.py config/my_study.json``) with a custom projected RRAM cell
+added next to the survey tentpoles — the "it is possible (and encouraged!)
+for users to extend the current database" path.
+
+Run:  python examples/custom_cell_sweep.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.config import run_config
+
+CONFIG = {
+    "name": "custom-projected-rram",
+    "cells": {
+        "technologies": ["RRAM", "STT"],
+        "flavors": ["optimistic"],
+        "include_sram": True,
+        "custom": [
+            {
+                # A projected next-generation RRAM: denser and faster-writing
+                # than anything surveyed, with mid-range endurance.
+                "name": "RRAM-projected-2025",
+                "tech_class": "RRAM",
+                "area_f2": 3.0,
+                "read_voltage": 0.4,
+                "read_current": 40e-6,
+                "read_pulse": 1.5e-9,
+                "write_voltage": 1.2,
+                "set_current": 60e-6,
+                "reset_current": 60e-6,
+                "set_pulse": 3e-9,
+                "reset_pulse": 3e-9,
+                "r_on": 8e3,
+                "r_off": 400e3,
+                "endurance_cycles": 1e8,
+                "retention_seconds": 1e8,
+            }
+        ],
+    },
+    "system": {
+        "capacities_mb": [4, 16],
+        "node_nm": 22,
+        "optimization_targets": ["ReadEDP", "WriteEDP"],
+        "access_bits": 64,
+    },
+    "traffic": {
+        "kind": "generic",
+        "min_reads": 1e6,
+        "max_reads": 1e9,
+        "min_writes": 1e5,
+        "max_writes": 1e7,
+        "points": 3,
+    },
+}
+
+with tempfile.TemporaryDirectory() as tmp:
+    config_path = Path(tmp) / "custom_study.json"
+    config_path.write_text(json.dumps(CONFIG, indent=2))
+    table = run_config(config_path)
+
+print(f"Ran {CONFIG['name']}: {len(table)} evaluation rows")
+print("\nLowest-power candidate per capacity (across all traffic):")
+for capacity in table.unique("capacity_mb"):
+    best = table.where(capacity_mb=capacity).min_by("total_power_mw")
+    print(
+        f"  {capacity:5.0f} MB -> {best['cell']:22s} "
+        f"{best['total_power_mw']:8.3f} mW at reads/s={best['reads_per_s']:.2e}"
+    )
+
+print("\nDid the projected cell earn further investigation?")
+projected = table.where(cell="RRAM-projected-2025")
+survey = table.where(cell="RRAM-optimistic")
+p_power = min(projected.column("total_power_mw"))
+s_power = min(survey.column("total_power_mw"))
+print(f"  best-case power: projected {p_power:.3f} mW vs survey {s_power:.3f} mW")

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""DNN edge accelerator study: continuous vs. intermittent deployment.
+
+Reproduces the Section IV-A exploration interactively:
+  * 2 MB NVDLA-style buffer under 60 FPS streaming traffic (Figure 6 left),
+  * energy-per-inference for wake-on-demand deployment (Figure 6 right),
+  * the wake-up-frequency crossover sweep (Figure 7).
+
+Run:  python examples/dnn_edge_accelerator.py
+"""
+
+from repro.studies import (
+    continuous_study,
+    fefet_stt_crossover,
+    intermittent_study,
+    intermittent_sweep,
+)
+from repro.traffic import ALBERT, RESNET26
+from repro.units import mb
+from repro.viz import bar_chart, line_chart
+
+# --- Figure 6 (left): continuous operation --------------------------------
+table = continuous_study(buffer_mb=2.0)
+scenario = "resnet26-weights-60fps"
+rows = table.where(workload=scenario).filter(lambda r: r["meets_fps"])
+power = {r["cell"]: r["total_power_mw"] for r in rows.sort_by("total_power_mw")}
+print(bar_chart(power, title=f"Operating power [mW] — {scenario}", log=True))
+
+sram = table.where(workload=scenario, tech="SRAM")[0]["total_power_mw"]
+for row in rows.sort_by("total_power_mw"):
+    if row["tech"] != "SRAM":
+        print(f"  {row['cell']:24s} {sram / row['total_power_mw']:5.1f}x below SRAM")
+
+# --- Figure 6 (right): intermittent, 1 inference/second --------------------
+print("\nEnergy per inference (intermittent, weights on-chip):")
+inter = intermittent_study()
+for workload in inter.unique("workload"):
+    best = inter.where(workload=workload).min_by("energy_per_inference_uj")
+    print(
+        f"  {workload:22s} -> {best['cell']:24s}"
+        f" {best['energy_per_inference_uj']:9.2f} uJ/inf"
+    )
+
+# --- Figure 7: wake-up frequency sweep --------------------------------------
+print("\nDaily energy vs inference rate (ALBERT, 32 MB weights):")
+sweep = intermittent_sweep(ALBERT, mb(32))
+series = {}
+for row in sweep:
+    series.setdefault(row["tech"], []).append(
+        (row["inferences_per_day"], row["energy_per_day_j"])
+    )
+print(line_chart(series, x_label="inferences/day", y_label="J/day",
+                 log_x=True, log_y=True))
+
+crossover = fefet_stt_crossover(ALBERT, mb(32))
+print(f"\nFeFET -> STT crossover: ~{crossover:,.0f} inferences/day "
+      "(below it the dense FeFET array's cheaper sleep wins; above it "
+      "STT's cheaper reads win)")

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Heterogeneous hierarchy and 3D-stacking extensions.
+
+Two forward-looking explorations the paper's conclusion motivates:
+  1. an explicit STT front buffer over an 8 MB FeFET store, sized with
+     *measured* write-coalescing factors from the cache simulator;
+  2. DESTINY-style monolithic 3D stacking of RRAM.
+
+Run:  python examples/heterogeneous_hierarchy.py
+"""
+
+from repro.cachesim import zipfian_stream
+from repro.cells import TechnologyClass, tentpoles_for
+from repro.core import coalescing_factor, evaluate, evaluate_hierarchy
+from repro.nvsim import OptimizationTarget, characterize, stacking_sweep
+from repro.traffic import facebook_bfs_traffic
+from repro.units import kb, mb
+
+traffic = facebook_bfs_traffic()
+print(f"Workload: {traffic.name} "
+      f"(reads/s={traffic.reads_per_second:.2e}, "
+      f"writes/s={traffic.writes_per_second:.2e})")
+
+# --- 1. front buffer sizing ---------------------------------------------------
+backing = characterize(
+    tentpoles_for(TechnologyClass.FEFET).optimistic, mb(8), node_nm=22,
+    optimization_target=OptimizationTarget.READ_EDP,
+)
+front_cell = tentpoles_for(TechnologyClass.STT).optimistic
+baseline = evaluate(backing, traffic)
+print(f"\nFeFET alone: power={baseline.total_power * 1e3:.3f} mW, "
+      f"latency={baseline.memory_latency_per_second:.3f} s/s")
+
+print("\nSTT front buffer sizing (coalescing measured on a zipfian write stream):")
+for buffer_kb in (32, 64, 256):
+    addresses = [a for a, _ in zipfian_stream(
+        30_000, working_set_bytes=mb(2), write_fraction=1.0, skew=1.3
+    )]
+    lines = buffer_kb * 1024 // 64
+    measured = coalescing_factor(addresses, buffer_lines=lines)
+    front = characterize(
+        front_cell, kb(buffer_kb), node_nm=22,
+        optimization_target=OptimizationTarget.READ_LATENCY,
+    )
+    combo = evaluate_hierarchy(
+        front, backing, traffic, read_hit_rate=0.3, write_coalescing=measured
+    )
+    lifetime = ("unlimited" if combo.lifetime_years is None
+                else f"{combo.lifetime_years:.1f} y")
+    print(f"  {buffer_kb:4d} KB front: coalescing={measured:.2f}  "
+          f"power={combo.total_power * 1e3:7.3f} mW  "
+          f"latency={combo.memory_latency_per_second:.3f} s/s  "
+          f"backing lifetime={lifetime}")
+
+# --- 2. 3D stacking -------------------------------------------------------------
+print("\nMonolithic 3D RRAM (16 MB):")
+rram = tentpoles_for(TechnologyClass.RRAM).optimistic
+for array in stacking_sweep(rram, mb(16), max_layers=8):
+    print(f"  {array.cell.name:26s} area={array.area * 1e6:7.3f} mm^2  "
+          f"density={array.density_mbit_per_mm2:7.1f} Mb/mm^2  "
+          f"tR={array.read_latency * 1e9:5.2f} ns  "
+          f"leak={array.leakage_power * 1e3:6.3f} mW")

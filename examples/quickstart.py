@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: characterize eNVM arrays and evaluate them under traffic.
+
+Covers the 3-step NVMExplorer flow in ~40 lines:
+  1. pick cells (survey tentpoles + an SRAM baseline),
+  2. characterize iso-capacity arrays,
+  3. evaluate them under an application traffic pattern.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TechnologyClass, characterize, sram_cell, tentpoles_for
+from repro.core import evaluate
+from repro.nvsim import OptimizationTarget
+from repro.traffic import TrafficPattern
+from repro.units import mb, to_ns, to_pj
+
+CAPACITY = mb(4)
+
+# Step 1 — cells: the survey-derived optimistic tentpole per technology,
+# plus a 16 nm SRAM comparison point.
+cells = [
+    tentpoles_for(tech).optimistic
+    for tech in (
+        TechnologyClass.STT,
+        TechnologyClass.PCM,
+        TechnologyClass.RRAM,
+        TechnologyClass.FEFET,
+    )
+] + [sram_cell(16)]
+
+# Step 2 — arrays: 4 MB, optimized for read energy-delay product.
+arrays = []
+for cell in cells:
+    node = 22 if cell.tech_class.is_nonvolatile else 16
+    arrays.append(
+        characterize(cell, CAPACITY, node_nm=node,
+                     optimization_target=OptimizationTarget.READ_EDP)
+    )
+
+print("=== Array characterization (4 MB, ReadEDP-optimized) ===")
+for array in arrays:
+    print(array.summary())
+
+# Step 3 — application: a read-heavy workload at 100M reads/s, 1M writes/s.
+traffic = TrafficPattern(
+    name="read-heavy-demo",
+    reads_per_second=1e8,
+    writes_per_second=1e6,
+    access_bytes=8,
+)
+
+print("\n=== System evaluation under", traffic.name, "===")
+print(f"{'cell':24s} {'power[mW]':>10s} {'latency[s/s]':>13s} {'lifetime[y]':>12s}")
+for array in arrays:
+    ev = evaluate(array, traffic)
+    lifetime = "unlimited" if ev.lifetime_years is None else f"{ev.lifetime_years:.2f}"
+    print(
+        f"{array.cell.name:24s} {ev.total_power * 1e3:10.3f} "
+        f"{ev.memory_latency_per_second:13.4f} {lifetime:>12s}"
+    )
+
+best = min(arrays, key=lambda a: evaluate(a, traffic).total_power)
+print(f"\nLowest-power candidate for this workload: {best.cell.name}")

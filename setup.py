@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+This environment has no ``wheel`` package and no network, so PEP 660
+editable installs (which need ``bdist_wheel``) fail.  Keeping a setup.py
+lets ``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) work offline.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""NVMExplorer reproduction: cross-stack DSE for embedded non-volatile memory.
+
+The package mirrors the paper's three-stage flow:
+
+1. **Configure** — pick cells (:mod:`repro.cells`), system parameters
+   (capacity, node, optimization target), and application traffic
+   (:mod:`repro.traffic`), either directly or through JSON configs
+   (:mod:`repro.config`).
+2. **Evaluate** — characterize memory arrays (:mod:`repro.nvsim`), run the
+   cross-stack analytical models (:mod:`repro.core`), and optionally inject
+   faults into application data (:mod:`repro.faults`, :mod:`repro.dnn`).
+3. **Explore** — filter/aggregate results (:mod:`repro.results`) and render
+   them (:mod:`repro.viz`); the paper's case studies live in
+   :mod:`repro.studies`.
+"""
+
+from repro.cells import (
+    CellTechnology,
+    TechnologyClass,
+    back_gated_fefet,
+    reference_rram,
+    sram_cell,
+    study_cells,
+    tentpoles_for,
+)
+from repro.errors import ReproError
+from repro.nvsim import ArrayCharacterization, OptimizationTarget, characterize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "CellTechnology",
+    "TechnologyClass",
+    "tentpoles_for",
+    "study_cells",
+    "sram_cell",
+    "reference_rram",
+    "back_gated_fefet",
+    "characterize",
+    "ArrayCharacterization",
+    "OptimizationTarget",
+]

@@ -1,0 +1,29 @@
+"""Cache-simulation substrate: caches, address streams, LLC trace derivation."""
+
+from repro.cachesim.cache import Cache, CacheConfig, CacheStats
+from repro.cachesim.llc import (
+    SYNTHETIC_SUITE,
+    LLCTrace,
+    simulate_llc_traffic,
+    synthetic_llc_suite,
+)
+from repro.cachesim.streams import (
+    WorkloadModel,
+    sequential_stream,
+    strided_stream,
+    zipfian_stream,
+)
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "WorkloadModel",
+    "sequential_stream",
+    "strided_stream",
+    "zipfian_stream",
+    "LLCTrace",
+    "simulate_llc_traffic",
+    "synthetic_llc_suite",
+    "SYNTHETIC_SUITE",
+]

@@ -1,0 +1,139 @@
+"""A set-associative write-back cache simulator.
+
+A deliberately small but real cache model: LRU replacement, write-back with
+write-allocate, per-access statistics.  The framework uses it to
+
+* regenerate SPEC-like LLC traffic tables from synthetic address streams
+  (:mod:`repro.cachesim.streams`), and
+* measure write-coalescing factors for the write-buffer study
+  (:func:`repro.core.writebuffer.coalescing_factor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a set-associative cache."""
+
+    capacity_bytes: int
+    line_bytes: int = 64
+    associativity: int = 16
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
+            raise ConfigError("cache dimensions must be positive")
+        if self.capacity_bytes % self.line_bytes != 0:
+            raise ConfigError("capacity must be a multiple of the line size")
+        lines = self.capacity_bytes // self.line_bytes
+        if lines % self.associativity != 0:
+            raise ConfigError("line count must be a multiple of associativity")
+
+    @property
+    def n_lines(self) -> int:
+        return self.capacity_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_lines // self.associativity
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by :class:`Cache.access`."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.read_hits + self.read_misses + self.write_hits + self.write_misses
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def hits(self) -> int:
+        return self.read_hits + self.write_hits
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class _Line:
+    tag: int
+    dirty: bool = False
+
+
+class Cache:
+    """LRU set-associative write-back cache with write-allocate."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        # Per set: an ordered dict-like list, most-recently-used last.
+        self._sets: list[dict[int, _Line]] = [dict() for _ in range(config.n_sets)]
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line_addr = address // self.config.line_bytes
+        set_index = line_addr % self.config.n_sets
+        tag = line_addr // self.config.n_sets
+        return set_index, tag
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Access one address; returns True on hit.
+
+        Misses allocate (write-allocate policy); LRU victims that are dirty
+        count as ``dirty_evictions`` (write-backs to the next level).
+        """
+        set_index, tag = self._locate(address)
+        cache_set = self._sets[set_index]
+        line = cache_set.pop(tag, None)
+        if line is not None:
+            cache_set[tag] = line  # refresh LRU position
+            if is_write:
+                line.dirty = True
+                self.stats.write_hits += 1
+            else:
+                self.stats.read_hits += 1
+            return True
+
+        if is_write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+
+        if len(cache_set) >= self.config.associativity:
+            victim_tag = next(iter(cache_set))
+            victim = cache_set.pop(victim_tag)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+        cache_set[tag] = _Line(tag=tag, dirty=is_write)
+        return False
+
+    def run(self, stream) -> CacheStats:
+        """Replay an iterable of ``(address, is_write)`` pairs."""
+        for address, is_write in stream:
+            self.access(address, is_write)
+        return self.stats
+
+    def dirty_lines(self) -> int:
+        """Dirty lines still resident (would drain on flush)."""
+        return sum(
+            1 for s in self._sets for line in s.values() if line.dirty
+        )
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()

@@ -1,0 +1,115 @@
+"""Synthetic memory-address streams.
+
+Generators for the access patterns that drive the cache simulator: streaming
+(sequential), strided, zipfian-random (pointer chasing over a skewed working
+set), and a mixed model parameterized like a real workload (working-set
+size, write fraction, locality skew).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def sequential_stream(
+    n_accesses: int,
+    stride_bytes: int = 64,
+    write_fraction: float = 0.0,
+    seed: int = 1,
+) -> Iterator[tuple[int, bool]]:
+    """A streaming scan: address increases by ``stride_bytes`` each access."""
+    _check(n_accesses, write_fraction)
+    rng = random.Random(seed)
+    addr = 0
+    for _ in range(n_accesses):
+        yield addr, rng.random() < write_fraction
+        addr += stride_bytes
+
+
+def strided_stream(
+    n_accesses: int,
+    stride_bytes: int,
+    working_set_bytes: int,
+    write_fraction: float = 0.0,
+    seed: int = 1,
+) -> Iterator[tuple[int, bool]]:
+    """A strided sweep that wraps around a fixed working set."""
+    _check(n_accesses, write_fraction)
+    if working_set_bytes <= 0 or stride_bytes <= 0:
+        raise ConfigError("stride and working set must be positive")
+    rng = random.Random(seed)
+    addr = 0
+    for _ in range(n_accesses):
+        yield addr % working_set_bytes, rng.random() < write_fraction
+        addr += stride_bytes
+
+
+def zipfian_stream(
+    n_accesses: int,
+    working_set_bytes: int,
+    line_bytes: int = 64,
+    skew: float = 1.1,
+    write_fraction: float = 0.2,
+    seed: int = 1,
+) -> Iterator[tuple[int, bool]]:
+    """Zipf-distributed accesses over a working set (hot/cold lines)."""
+    _check(n_accesses, write_fraction)
+    if skew <= 1.0:
+        raise ConfigError("zipf skew must be > 1")
+    n_lines = max(1, working_set_bytes // line_bytes)
+    rng = np.random.default_rng(seed)
+    lines = rng.zipf(skew, size=n_accesses) % n_lines
+    writes = rng.random(n_accesses) < write_fraction
+    for line, is_write in zip(lines, writes):
+        yield int(line) * line_bytes, bool(is_write)
+
+
+@dataclass(frozen=True)
+class WorkloadModel:
+    """A parameterized synthetic workload for LLC-trace regeneration."""
+
+    name: str
+    working_set_bytes: int
+    write_fraction: float
+    locality_skew: float = 1.2  # >1; higher = more cache-friendly
+    streaming_fraction: float = 0.2  # fraction of sequential scan traffic
+
+    def stream(self, n_accesses: int, seed: int = 1) -> Iterator[tuple[int, bool]]:
+        """Interleave zipfian pointer traffic with streaming scans."""
+        n_stream = int(n_accesses * self.streaming_fraction)
+        n_zipf = n_accesses - n_stream
+        zipf = zipfian_stream(
+            n_zipf,
+            self.working_set_bytes,
+            skew=self.locality_skew,
+            write_fraction=self.write_fraction,
+            seed=seed,
+        )
+        seq = sequential_stream(
+            n_stream, write_fraction=self.write_fraction, seed=seed + 1
+        )
+        rng = random.Random(seed + 2)
+        iters = [iter(zipf), iter(seq)]
+        weights = [n_zipf, n_stream]
+        while any(w > 0 for w in weights):
+            choice = rng.choices([0, 1], weights=[max(w, 0) for w in weights])[0]
+            if weights[choice] <= 0:
+                continue
+            weights[choice] -= 1
+            try:
+                yield next(iters[choice])
+            except StopIteration:
+                weights[choice] = 0
+
+
+def _check(n_accesses: int, write_fraction: float) -> None:
+    if n_accesses < 0:
+        raise ConfigError("n_accesses must be non-negative")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ConfigError("write_fraction must be in [0, 1]")

@@ -1,0 +1,302 @@
+"""Core cell-technology data model.
+
+A :class:`CellTechnology` captures everything the array characterizer needs
+to know about one memory cell: geometry, read/write electrical behaviour,
+reliability (endurance, retention), and multi-level-cell capability.  The
+survey database (:mod:`repro.cells.database`) stores one
+:class:`SurveyEntry` per surveyed publication; the tentpole builder
+(:mod:`repro.cells.tentpole`) condenses a technology class's entries into
+fixed optimistic / pessimistic :class:`CellTechnology` instances, mirroring
+Section III-B of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import CellDefinitionError
+
+
+class TechnologyClass(enum.Enum):
+    """The memory technology families surveyed in the paper (Table I)."""
+
+    SRAM = "SRAM"
+    EDRAM = "eDRAM"
+    PCM = "PCM"
+    STT = "STT"
+    SOT = "SOT"
+    RRAM = "RRAM"
+    CTT = "CTT"
+    FERAM = "FeRAM"
+    FEFET = "FeFET"
+
+    @property
+    def is_nonvolatile(self) -> bool:
+        return self not in (TechnologyClass.SRAM, TechnologyClass.EDRAM)
+
+    @classmethod
+    def from_string(cls, name: str) -> "TechnologyClass":
+        """Parse a technology name case-insensitively (``"stt"`` -> STT)."""
+        normalized = name.strip().lower().replace("-ram", "").replace("_", "")
+        aliases = {
+            "sram": cls.SRAM,
+            "edram": cls.EDRAM,
+            "pcm": cls.PCM,
+            "pcram": cls.PCM,
+            "stt": cls.STT,
+            "sttmram": cls.STT,
+            "mram": cls.STT,
+            "sot": cls.SOT,
+            "sotmram": cls.SOT,
+            "rram": cls.RRAM,
+            "reram": cls.RRAM,
+            "ctt": cls.CTT,
+            "feram": cls.FERAM,
+            "fefet": cls.FEFET,
+        }
+        try:
+            return aliases[normalized]
+        except KeyError:
+            raise CellDefinitionError(f"unknown technology class: {name!r}") from None
+
+
+class AccessDevice(enum.Enum):
+    """How a storage element is selected within the array."""
+
+    CMOS = "CMOS"  # 1T1R-style access transistor
+    NONE = "none"  # crosspoint / selector-less
+    SRAM6T = "6T"  # six-transistor SRAM cell
+    TRANSISTOR_CELL = "FET"  # the cell *is* a transistor (FeFET, CTT)
+    GAIN_CELL = "1T1C"  # eDRAM gain cell
+
+
+@dataclass(frozen=True)
+class CellTechnology:
+    """A fixed memory cell definition.
+
+    All values are in base SI units (seconds, volts, amperes, joules);
+    ``area_f2`` is in units of ``F^2`` where ``F`` is the feature size of the
+    process node the array is implemented in.
+
+    ``None`` for ``endurance_cycles`` / ``retention_seconds`` means
+    "effectively unlimited" (SRAM) — the evaluation engine treats it as
+    infinite.
+    """
+
+    name: str
+    tech_class: TechnologyClass
+    area_f2: float
+    aspect_ratio: float = 1.0
+    #: Native node of the definition, nm (informational; arrays may rescale).
+    native_node_nm: int = 22
+
+    # --- read path ---
+    read_voltage: float = 0.2
+    read_current: float = 10e-6
+    read_pulse: float = 1e-9
+    #: Low/high resistance states for resistive technologies (ohms).
+    r_on: float = 10e3
+    r_off: float = 100e3
+
+    # --- write path ---
+    write_voltage: float = 1.0
+    set_current: float = 50e-6
+    reset_current: float = 50e-6
+    set_pulse: float = 10e-9
+    reset_pulse: float = 10e-9
+
+    # --- reliability ---
+    endurance_cycles: Optional[float] = 1e8
+    retention_seconds: Optional[float] = 1e8
+
+    # --- MLC ---
+    mlc_capable: bool = True
+    max_bits_per_cell: int = 2
+
+    # --- volatility ---
+    #: Standby leakage per cell in watts (SRAM / eDRAM only).
+    cell_leakage: float = 0.0
+    #: Refresh interval for eDRAM-style cells, seconds (None = no refresh).
+    refresh_interval: Optional[float] = None
+
+    access_device: AccessDevice = AccessDevice.CMOS
+    #: Free-form provenance note ("ISSCC 2018", "SPICE model", ...).
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.area_f2 <= 0:
+            raise CellDefinitionError(f"{self.name}: cell area must be positive")
+        if self.aspect_ratio <= 0:
+            raise CellDefinitionError(f"{self.name}: aspect ratio must be positive")
+        for attr in (
+            "read_voltage",
+            "read_current",
+            "read_pulse",
+            "write_voltage",
+            "set_current",
+            "reset_current",
+            "set_pulse",
+            "reset_pulse",
+            "r_on",
+            "r_off",
+        ):
+            if getattr(self, attr) <= 0:
+                raise CellDefinitionError(f"{self.name}: {attr} must be positive")
+        if self.r_off < self.r_on:
+            raise CellDefinitionError(f"{self.name}: r_off must be >= r_on")
+        if self.endurance_cycles is not None and self.endurance_cycles <= 0:
+            raise CellDefinitionError(f"{self.name}: endurance must be positive")
+        if self.retention_seconds is not None and self.retention_seconds <= 0:
+            raise CellDefinitionError(f"{self.name}: retention must be positive")
+        if self.max_bits_per_cell < 1:
+            raise CellDefinitionError(f"{self.name}: max_bits_per_cell must be >= 1")
+        if not self.mlc_capable and self.max_bits_per_cell > 1:
+            object.__setattr__(self, "max_bits_per_cell", 1)
+
+    # --- derived electrical quantities -----------------------------------
+
+    @property
+    def is_volatile(self) -> bool:
+        return not self.tech_class.is_nonvolatile
+
+    @property
+    def write_pulse(self) -> float:
+        """Worst-case programming pulse, seconds (max of set/reset)."""
+        return max(self.set_pulse, self.reset_pulse)
+
+    @property
+    def set_energy_per_bit(self) -> float:
+        """Energy to program one cell to the SET state, joules."""
+        return self.write_voltage * self.set_current * self.set_pulse
+
+    @property
+    def reset_energy_per_bit(self) -> float:
+        """Energy to program one cell to the RESET state, joules."""
+        return self.write_voltage * self.reset_current * self.reset_pulse
+
+    @property
+    def write_energy_per_bit(self) -> float:
+        """Average cell programming energy, joules (mean of set/reset)."""
+        return 0.5 * (self.set_energy_per_bit + self.reset_energy_per_bit)
+
+    @property
+    def read_energy_per_bit(self) -> float:
+        """Cell-level sensing energy, joules."""
+        return self.read_voltage * self.read_current * self.read_pulse
+
+    def cell_area(self, feature_size: float) -> float:
+        """Physical cell area in m^2 at the given feature size (meters)."""
+        return self.area_f2 * feature_size * feature_size
+
+    def cell_dimensions(self, feature_size: float) -> tuple[float, float]:
+        """(width, height) of the cell in meters, honoring the aspect ratio."""
+        area = self.cell_area(feature_size)
+        width = math.sqrt(area * self.aspect_ratio)
+        height = area / width
+        return width, height
+
+    def density_bits_per_f2(self, bits_per_cell: int = 1) -> float:
+        """Storage density in bits per F^2 (the tentpole ranking metric)."""
+        if bits_per_cell > self.max_bits_per_cell:
+            raise CellDefinitionError(
+                f"{self.name}: {bits_per_cell} bits/cell exceeds max "
+                f"{self.max_bits_per_cell}"
+            )
+        return bits_per_cell / self.area_f2
+
+    def with_bits_per_cell(self, bits: int) -> "CellTechnology":
+        """Validate that this cell supports ``bits`` levels and return self.
+
+        MLC handling lives in the array model; this is a guard for callers.
+        """
+        if bits > self.max_bits_per_cell:
+            raise CellDefinitionError(
+                f"{self.name} supports at most {self.max_bits_per_cell} bits/cell"
+            )
+        return self
+
+    def renamed(self, name: str) -> "CellTechnology":
+        """Copy of this definition under a new name."""
+        return replace(self, name=name)
+
+
+@dataclass(frozen=True)
+class SurveyEntry:
+    """One surveyed publication's reported cell / array data.
+
+    ``None`` fields are parameters the publication did not report (the grey
+    cells of Table I); the tentpole builder fills them from the rest of the
+    technology class.
+    """
+
+    name: str
+    tech_class: TechnologyClass
+    year: int
+    venue: str  # "ISSCC" | "IEDM" | "VLSI"
+    node_nm: Optional[int] = None
+    area_f2: Optional[float] = None
+    read_latency: Optional[float] = None  # seconds, cell+array reported
+    write_latency: Optional[float] = None  # seconds
+    read_energy_pj: Optional[float] = None  # per-bit, pJ as reported
+    write_energy_pj: Optional[float] = None
+    read_voltage: Optional[float] = None
+    write_voltage: Optional[float] = None
+    read_current: Optional[float] = None
+    set_current: Optional[float] = None
+    reset_current: Optional[float] = None
+    endurance_cycles: Optional[float] = None
+    retention_seconds: Optional[float] = None
+    mlc_demonstrated: bool = False
+    capacity_bits: Optional[float] = None
+    notes: str = ""
+
+    def density_bits_per_f2(self) -> Optional[float]:
+        """Reported storage density, or None if the area was not reported."""
+        if self.area_f2 is None:
+            return None
+        bits = 2.0 if self.mlc_demonstrated else 1.0
+        return bits / self.area_f2
+
+
+@dataclass(frozen=True)
+class TechnologyRange:
+    """Min/max envelope of a parameter across a technology class.
+
+    Used to regenerate Table I and to sanity-check tentpole construction.
+    """
+
+    parameter: str
+    minimum: float
+    maximum: float
+    n_reported: int = 0
+
+    def contains(self, value: float, tolerance: float = 1e-9) -> bool:
+        return self.minimum - tolerance <= value <= self.maximum + tolerance
+
+
+# Parameters where a *smaller* value is "better" (optimistic).  Everything
+# not listed here is better when larger (endurance, retention, density).
+LOWER_IS_BETTER: frozenset[str] = frozenset(
+    {
+        "area_f2",
+        "read_latency",
+        "write_latency",
+        "read_energy_pj",
+        "write_energy_pj",
+        "read_pulse",
+        "set_pulse",
+        "reset_pulse",
+        "read_voltage",
+        "write_voltage",
+        "read_current",
+        "set_current",
+        "reset_current",
+    }
+)
+
+HIGHER_IS_BETTER: frozenset[str] = frozenset(
+    {"endurance_cycles", "retention_seconds", "capacity_bits"}
+)

@@ -1,0 +1,159 @@
+"""Tentpole construction (Section III-B).
+
+Comparing technologies at wildly different maturity levels is the paper's
+central methodological problem.  Its answer: per technology class, build two
+fixed cell definitions that bound the space —
+
+* **optimistic** — the *densest* published cell (best Mb/F^2), with every
+  unreported parameter filled with the *best* value (lowest power, highest
+  efficiency, best reliability) seen across the class, and
+* **pessimistic** — the *least dense* published cell filled with the *worst*
+  values.
+
+Array-level results produced from these two cells cover the range of
+published fabricated arrays (validated in Section III-C and reproduced by
+``benchmarks/test_fig04_validation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+from repro.cells import database
+from repro.cells.base import CellTechnology, SurveyEntry, TechnologyClass
+from repro.cells.envelopes import ENVELOPES, envelope_for
+from repro.errors import CellDefinitionError
+
+
+@dataclass(frozen=True)
+class TentpoleSet:
+    """The bounding cells for one technology class."""
+
+    tech_class: TechnologyClass
+    optimistic: CellTechnology
+    pessimistic: CellTechnology
+    reference: Optional[CellTechnology] = None
+
+    def __iter__(self):
+        yield self.optimistic
+        yield self.pessimistic
+        if self.reference is not None:
+            yield self.reference
+
+    def labelled(self) -> list[tuple[str, CellTechnology]]:
+        """(flavor, cell) pairs, for plotting/tabulating."""
+        pairs = [("optimistic", self.optimistic), ("pessimistic", self.pessimistic)]
+        if self.reference is not None:
+            pairs.append(("reference", self.reference))
+        return pairs
+
+
+def _density_extremes(
+    entries: list[SurveyEntry],
+) -> tuple[SurveyEntry, SurveyEntry]:
+    """(densest, least dense) entries, by reported bits per F^2."""
+    with_density = [e for e in entries if e.density_bits_per_f2() is not None]
+    if not with_density:
+        raise CellDefinitionError("no survey entries report cell area")
+    densest = max(with_density, key=lambda e: e.density_bits_per_f2())
+    sparsest = min(with_density, key=lambda e: e.density_bits_per_f2())
+    return densest, sparsest
+
+
+def _survey_extreme(
+    entries: list[SurveyEntry], field_name: str, best: bool
+) -> Optional[float]:
+    """Best/worst reported value of ``field_name`` across ``entries``."""
+    values = [
+        getattr(e, field_name) for e in entries if getattr(e, field_name) is not None
+    ]
+    if not values:
+        return None
+    # For endurance/retention, "best" means the maximum.
+    return max(values) if best else min(values)
+
+
+def build_tentpole_cell(
+    tech: TechnologyClass, *, optimistic: bool
+) -> CellTechnology:
+    """Construct one tentpole cell for ``tech``.
+
+    Cell area comes from the survey's density extreme; reliability comes from
+    the survey's reported extremes (falling back to the electrical envelope);
+    electrical parameters (voltages, currents, pulses, resistances) come from
+    the curated envelope corner, since publications rarely report them
+    completely.
+    """
+    env = envelope_for(tech)
+    entries = database.survey_entries(tech=tech)
+    densest, sparsest = _density_extremes(entries)
+    anchor = densest if optimistic else sparsest
+
+    def corner(param: str) -> float:
+        return env.optimistic(param) if optimistic else env.pessimistic(param)
+
+    endurance = _survey_extreme(entries, "endurance_cycles", best=optimistic)
+    retention = _survey_extreme(entries, "retention_seconds", best=optimistic)
+
+    flavor = "optimistic" if optimistic else "pessimistic"
+    return CellTechnology(
+        name=f"{tech.value}-{flavor}",
+        tech_class=tech,
+        area_f2=float(anchor.area_f2),
+        native_node_nm=int(anchor.node_nm or env.node_range_nm[0]),
+        read_voltage=corner("read_voltage"),
+        read_current=corner("read_current"),
+        read_pulse=corner("read_pulse"),
+        write_voltage=corner("write_voltage"),
+        set_current=corner("set_current"),
+        reset_current=corner("reset_current"),
+        set_pulse=corner("set_pulse"),
+        reset_pulse=corner("reset_pulse"),
+        r_on=corner("r_on"),
+        r_off=corner("r_off"),
+        endurance_cycles=endurance if endurance is not None else corner("endurance_cycles"),
+        retention_seconds=retention if retention is not None else corner("retention_seconds"),
+        mlc_capable=env.mlc_capable,
+        max_bits_per_cell=env.max_bits_per_cell,
+        access_device=env.access_device,
+        aspect_ratio=env.aspect_ratio,
+        source=f"tentpole({flavor}) anchored at {anchor.name}",
+    )
+
+
+@lru_cache(maxsize=None)
+def tentpoles_for(tech: TechnologyClass) -> TentpoleSet:
+    """The cached tentpole set for one technology class."""
+    from repro.cells.presets import reference_rram  # local import: avoid cycle
+
+    reference = reference_rram() if tech is TechnologyClass.RRAM else None
+    return TentpoleSet(
+        tech_class=tech,
+        optimistic=build_tentpole_cell(tech, optimistic=True),
+        pessimistic=build_tentpole_cell(tech, optimistic=False),
+        reference=reference,
+    )
+
+
+def all_tentpoles(
+    technologies: Optional[tuple[TechnologyClass, ...]] = None,
+) -> dict[TechnologyClass, TentpoleSet]:
+    """Tentpole sets for every (or the given) eNVM technology class."""
+    techs = technologies if technologies is not None else tuple(ENVELOPES)
+    return {tech: tentpoles_for(tech) for tech in techs}
+
+
+def study_cells(
+    technologies: Optional[tuple[TechnologyClass, ...]] = None,
+    include_reference: bool = True,
+) -> list[CellTechnology]:
+    """Flat list of every tentpole (and reference) cell for the case studies."""
+    cells: list[CellTechnology] = []
+    for tent in all_tentpoles(technologies).values():
+        cells.append(tent.optimistic)
+        cells.append(tent.pessimistic)
+        if include_reference and tent.reference is not None:
+            cells.append(tent.reference)
+    return cells

@@ -1,0 +1,6 @@
+"""Configuration interface: JSON schema, loader, and CLI."""
+
+from repro.config.loader import load_config, run_config
+from repro.config.schema import ParsedConfig, parse_config
+
+__all__ = ["ParsedConfig", "parse_config", "load_config", "run_config"]

@@ -1,0 +1,56 @@
+"""Command-line entry point: ``nvmexplorer <config.json>``.
+
+Mirrors the paper's ``python run.py config/<name>.json`` workflow: runs the
+sweep, prints a summary (and optionally the full markdown table or an ASCII
+dashboard), and writes the CSV if the config asks for one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.config.loader import run_config
+from repro.errors import ReproError
+from repro.viz.dashboard import summary_dashboard
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nvmexplorer",
+        description="Cross-stack eNVM design space exploration (paper reproduction).",
+    )
+    parser.add_argument("config", help="path to a JSON sweep configuration")
+    parser.add_argument(
+        "--table", action="store_true", help="print the full result table (markdown)"
+    )
+    parser.add_argument(
+        "--dashboard", action="store_true", help="print ASCII dashboard views"
+    )
+    parser.add_argument(
+        "--csv", metavar="PATH", help="write results as CSV (overrides config)"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        table = run_config(args.config)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{len(table)} result rows across columns: {', '.join(table.columns)}")
+    if args.csv:
+        table.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    if args.table:
+        print(table.to_markdown())
+    if args.dashboard:
+        print(summary_dashboard(table))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

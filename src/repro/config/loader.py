@@ -1,0 +1,53 @@
+"""Config execution: the programmatic ``run.py``.
+
+``run_config`` accepts a path to a JSON file or an already-parsed dict,
+builds the sweep, runs it through the DSE engine, optionally writes the CSV
+the paper's artifact produces, and returns the result table.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+from repro.config.schema import ParsedConfig, parse_config
+from repro.core.engine import DSEEngine, SweepSpec
+from repro.errors import ConfigError
+from repro.results.table import ResultTable
+
+
+def load_config(source: Union[str, Path, Mapping[str, Any]]) -> ParsedConfig:
+    """Load and validate a config from a path or dict."""
+    if isinstance(source, Mapping):
+        return parse_config(source)
+    path = Path(source)
+    if not path.exists():
+        raise ConfigError(f"config file not found: {path}")
+    try:
+        raw = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{path}: invalid JSON ({exc})") from exc
+    return parse_config(raw)
+
+
+def run_config(source: Union[str, Path, Mapping[str, Any]]) -> ResultTable:
+    """Execute a configuration end to end."""
+    config = load_config(source)
+    spec = SweepSpec(
+        cells=config.cells,
+        capacities_bytes=config.capacities_bytes,
+        traffic=config.traffic,
+        node_nm=config.node_nm,
+        sram_node_nm=config.sram_node_nm,
+        optimization_targets=config.optimization_targets,
+        access_bits=config.access_bits,
+        bits_per_cell=config.bits_per_cell,
+    )
+    table = DSEEngine().run(spec)
+    if config.output_csv:
+        out = Path(config.output_csv)
+        if out.parent and not out.parent.exists():
+            out.parent.mkdir(parents=True, exist_ok=True)
+        table.to_csv(str(out))
+    return table

@@ -1,0 +1,188 @@
+"""JSON configuration schema (the paper's ``config/*.json`` interface).
+
+A config describes one design sweep::
+
+    {
+      "name": "main_dnn_study",
+      "cells": {
+        "technologies": ["STT", "RRAM", "FeFET", "PCM"],
+        "flavors": ["optimistic", "pessimistic"],
+        "include_sram": true,
+        "custom": [ { "name": "my-cell", "tech_class": "RRAM", ... } ]
+      },
+      "system": {
+        "capacities_mb": [2, 8],
+        "node_nm": 22,
+        "sram_node_nm": 16,
+        "optimization_targets": ["ReadEDP"],
+        "access_bits": 512,
+        "bits_per_cell": 1
+      },
+      "traffic": {
+        "kind": "dnn-continuous" | "dnn-intermittent" | "graph-generic"
+                | "graph-kernels" | "spec2017" | "generic",
+        ... kind-specific parameters ...
+      },
+      "output_csv": "results.csv"
+    }
+
+:func:`parse_config` validates a dict into a :class:`ParsedConfig`;
+:func:`repro.config.loader.run_config` executes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.cells import CellTechnology, sram_cell, study_cells, tentpoles_for
+from repro.cells.base import TechnologyClass
+from repro.errors import ConfigError
+from repro.nvsim.result import OptimizationTarget
+from repro.traffic.base import TrafficPattern
+from repro.traffic.dnn import DNN_WORKLOADS, NVDLAPerformanceModel, continuous_scenarios
+from repro.traffic.generic import generic_sweep, graph_envelope_sweep, log_spaced
+from repro.traffic.graph import facebook_bfs_traffic, graph_kernel_suite, wikipedia_bfs_traffic
+from repro.traffic.spec import spec2017_suite
+from repro.units import mb
+
+_VALID_FLAVORS = ("optimistic", "pessimistic", "reference")
+
+
+@dataclass(frozen=True)
+class ParsedConfig:
+    """A validated configuration ready to run."""
+
+    name: str
+    cells: Sequence[CellTechnology]
+    capacities_bytes: Sequence[int]
+    node_nm: int
+    sram_node_nm: int
+    optimization_targets: Sequence[OptimizationTarget]
+    access_bits: int
+    bits_per_cell: int
+    traffic: Sequence[TrafficPattern]
+    output_csv: Optional[str] = None
+
+
+def _require(mapping: Mapping[str, Any], key: str, context: str) -> Any:
+    if key not in mapping:
+        raise ConfigError(f"{context}: missing required key {key!r}")
+    return mapping[key]
+
+
+def _parse_cells(section: Mapping[str, Any]) -> list[CellTechnology]:
+    cells: list[CellTechnology] = []
+    technologies = section.get("technologies", [])
+    flavors = section.get("flavors", ["optimistic", "pessimistic"])
+    for flavor in flavors:
+        if flavor not in _VALID_FLAVORS:
+            raise ConfigError(f"cells.flavors: unknown flavor {flavor!r}")
+    for tech_name in technologies:
+        tech = TechnologyClass.from_string(str(tech_name))
+        tent = tentpoles_for(tech)
+        for flavor, cell in tent.labelled():
+            if flavor in flavors:
+                cells.append(cell)
+    if section.get("include_sram", False):
+        cells.append(sram_cell(int(section.get("sram_node_nm", 16))))
+    for custom in section.get("custom", []):
+        cells.append(_parse_custom_cell(custom))
+    if not cells:
+        raise ConfigError("cells: configuration selects no cells")
+    return cells
+
+
+def _parse_custom_cell(raw: Mapping[str, Any]) -> CellTechnology:
+    data = dict(raw)
+    name = _require(data, "name", "cells.custom")
+    tech = TechnologyClass.from_string(str(_require(data, "tech_class", "cells.custom")))
+    data.pop("name")
+    data.pop("tech_class")
+    try:
+        return CellTechnology(name=str(name), tech_class=tech, **data)
+    except TypeError as exc:
+        raise ConfigError(f"cells.custom[{name}]: {exc}") from exc
+
+
+def _parse_traffic(section: Optional[Mapping[str, Any]]) -> list[TrafficPattern]:
+    if not section:
+        return []
+    kind = str(_require(section, "kind", "traffic"))
+    if kind == "generic":
+        reads = section.get("reads_per_second") or log_spaced(
+            float(section.get("min_reads", 1e5)),
+            float(section.get("max_reads", 1e9)),
+            int(section.get("points", 5)),
+        )
+        writes = section.get("writes_per_second") or log_spaced(
+            float(section.get("min_writes", 1e4)),
+            float(section.get("max_writes", 1e7)),
+            int(section.get("points", 5)),
+        )
+        return generic_sweep(
+            [float(r) for r in reads],
+            [float(w) for w in writes],
+            access_bytes=int(section.get("access_bytes", 8)),
+        )
+    if kind == "graph-generic":
+        return graph_envelope_sweep(points_per_axis=int(section.get("points", 4)))
+    if kind == "graph-kernels":
+        return [facebook_bfs_traffic(), wikipedia_bfs_traffic(),
+                *graph_kernel_suite()]
+    if kind == "spec2017":
+        return spec2017_suite()
+    if kind == "dnn-continuous":
+        buffer_mb = float(section.get("buffer_mb", 2))
+        return continuous_scenarios(mb(buffer_mb))
+    if kind == "dnn-intermittent":
+        workload_name = str(section.get("workload", "resnet26"))
+        try:
+            workload = DNN_WORKLOADS[workload_name]
+        except KeyError:
+            raise ConfigError(
+                f"traffic: unknown DNN workload {workload_name!r} "
+                f"(known: {sorted(DNN_WORKLOADS)})"
+            ) from None
+        capacity = mb(float(section.get("capacity_mb", 8)))
+        model = NVDLAPerformanceModel(capacity)
+        rate = float(section.get("inferences_per_second", 1.0))
+        return [model.intermittent_traffic(workload, rate)]
+    raise ConfigError(f"traffic: unknown kind {kind!r}")
+
+
+def parse_config(raw: Mapping[str, Any]) -> ParsedConfig:
+    """Validate a raw config dict."""
+    if not isinstance(raw, Mapping):
+        raise ConfigError("config root must be an object")
+    name = str(raw.get("name", "unnamed-sweep"))
+    cells = _parse_cells(_require(raw, "cells", "config"))
+
+    system = raw.get("system", {})
+    capacities_mb = system.get("capacities_mb", [4])
+    if not capacities_mb:
+        raise ConfigError("system.capacities_mb must be non-empty")
+    capacities = [mb(float(c)) for c in capacities_mb]
+    targets = [
+        OptimizationTarget.from_string(str(t))
+        for t in system.get("optimization_targets", ["ReadEDP"])
+    ]
+    if not targets:
+        raise ConfigError("system.optimization_targets must be non-empty")
+
+    bits = int(system.get("bits_per_cell", 1))
+    if bits < 1:
+        raise ConfigError("system.bits_per_cell must be >= 1")
+
+    return ParsedConfig(
+        name=name,
+        cells=cells,
+        capacities_bytes=capacities,
+        node_nm=int(system.get("node_nm", 22)),
+        sram_node_nm=int(system.get("sram_node_nm", 16)),
+        optimization_targets=targets,
+        access_bits=int(system.get("access_bits", 64)),
+        bits_per_cell=bits,
+        traffic=_parse_traffic(raw.get("traffic")),
+        output_csv=raw.get("output_csv"),
+    )

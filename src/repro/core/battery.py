@@ -1,0 +1,104 @@
+"""Battery-life estimation for intermittent edge deployments.
+
+Figure 7's caption presents "total memory energy ... as a proxy for device
+battery life"; this module makes the proxy explicit: given a battery
+capacity and the non-memory system power, how many days does each memory
+candidate sustain at a given inference rate, and what inference budget does
+a day of battery buy?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.intermittent import IntermittentEvaluation, evaluate_intermittent
+from repro.errors import EvaluationError
+from repro.nvsim.result import ArrayCharacterization
+from repro.traffic.dnn import DNNWorkload
+from repro.units import SECONDS_PER_DAY
+
+#: A small coin cell: ~3 V x 225 mAh.
+COIN_CELL_JOULES = 2430.0
+#: A compact LiPo: ~3.7 V x 1000 mAh.
+LIPO_1AH_JOULES = 13_320.0
+
+
+@dataclass(frozen=True)
+class BatteryLifeEstimate:
+    """Days of operation for one memory candidate."""
+
+    array_label: str
+    workload: str
+    inferences_per_day: float
+    battery_joules: float
+    memory_energy_per_day: float
+    system_energy_per_day: float
+    days: float
+
+
+def battery_life(
+    array: ArrayCharacterization,
+    workload: DNNWorkload,
+    inferences_per_day: float,
+    battery_joules: float = COIN_CELL_JOULES,
+    system_power_active: float = 50e-3,
+    system_power_sleep: float = 2e-6,
+) -> BatteryLifeEstimate:
+    """Days the battery sustains wake-per-inference operation.
+
+    ``system_power_active``/``system_power_sleep`` cover the non-memory
+    parts (compute, sensors, radios) so the memory's contribution can be
+    judged in context.
+    """
+    if battery_joules <= 0:
+        raise EvaluationError("battery capacity must be positive")
+    if system_power_active < 0 or system_power_sleep < 0:
+        raise EvaluationError("system power must be non-negative")
+    memory = evaluate_intermittent(array, workload, inferences_per_day)
+    active_seconds = min(
+        SECONDS_PER_DAY, inferences_per_day * workload.inference_seconds
+    )
+    system_per_day = (
+        system_power_active * active_seconds
+        + system_power_sleep * (SECONDS_PER_DAY - active_seconds)
+    )
+    total_per_day = memory.energy_per_day + system_per_day
+    return BatteryLifeEstimate(
+        array_label=array.label,
+        workload=workload.name,
+        inferences_per_day=inferences_per_day,
+        battery_joules=battery_joules,
+        memory_energy_per_day=memory.energy_per_day,
+        system_energy_per_day=system_per_day,
+        days=battery_joules / total_per_day,
+    )
+
+
+def inference_budget(
+    array: ArrayCharacterization,
+    workload: DNNWorkload,
+    battery_joules: float = COIN_CELL_JOULES,
+    target_days: float = 365.0,
+    system_power_active: float = 50e-3,
+    system_power_sleep: float = 2e-6,
+) -> float:
+    """Max inferences/day sustaining ``target_days`` of battery life.
+
+    Solves the linear daily-energy model for the rate; returns 0 when even
+    an idle device cannot reach the target.
+    """
+    if target_days <= 0:
+        raise EvaluationError("target_days must be positive")
+    budget_per_day = battery_joules / target_days
+    idle = evaluate_intermittent(array, workload, 0.0)
+    fixed = idle.energy_per_day + system_power_sleep * SECONDS_PER_DAY
+    if fixed >= budget_per_day:
+        return 0.0
+    one = evaluate_intermittent(array, workload, 1.0)
+    per_inference = (
+        one.energy_per_inference
+        + (system_power_active - system_power_sleep) * workload.inference_seconds
+    )
+    if per_inference <= 0:
+        return float("inf")
+    return (budget_per_day - fixed) / per_inference

@@ -1,0 +1,165 @@
+"""The top-level DSE engine: cells x system configs x traffic -> results.
+
+This is the programmatic equivalent of the paper's ``run.py`` sweep driver:
+given cell definitions, array provisioning choices, and traffic patterns,
+characterize every array once and evaluate every (array, traffic) pair,
+producing a :class:`~repro.results.ResultTable` whose rows carry everything
+the dashboards plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.cells.base import CellTechnology
+from repro.core.metrics import SystemEvaluation, evaluate
+from repro.errors import CharacterizationError
+from repro.nvsim import characterize
+from repro.nvsim.result import ArrayCharacterization, OptimizationTarget
+from repro.results.table import ResultTable
+from repro.traffic.base import TrafficPattern
+from repro.units import to_mm2, to_ns, to_pj
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One design sweep: the cross product the engine evaluates."""
+
+    cells: Sequence[CellTechnology]
+    capacities_bytes: Sequence[int]
+    traffic: Sequence[TrafficPattern] = ()
+    node_nm: int = 22
+    sram_node_nm: int = 16
+    optimization_targets: Sequence[OptimizationTarget] = (
+        OptimizationTarget.READ_EDP,
+    )
+    access_bits: int = 64
+    bits_per_cell: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise CharacterizationError("sweep needs at least one cell")
+        if not self.capacities_bytes:
+            raise CharacterizationError("sweep needs at least one capacity")
+
+
+def _flavor(cell: CellTechnology) -> str:
+    name = cell.name.lower()
+    for tag in ("optimistic", "pessimistic", "reference", "back-gated"):
+        if tag in name:
+            return tag
+    return "custom"
+
+
+def array_record(array: ArrayCharacterization) -> dict:
+    """Flatten an array characterization into a table row."""
+    return {
+        "cell": array.cell.name,
+        "tech": array.cell.tech_class.value,
+        "flavor": _flavor(array.cell),
+        "capacity_mb": array.capacity_bytes / (1024 * 1024),
+        "node_nm": array.node_nm,
+        "bits_per_cell": array.bits_per_cell,
+        "target": array.optimization_target.value,
+        "area_mm2": to_mm2(array.area),
+        "area_efficiency": array.area_efficiency,
+        "density_mbit_mm2": array.density_mbit_per_mm2,
+        "read_latency_ns": to_ns(array.read_latency),
+        "write_latency_ns": to_ns(array.write_latency),
+        "read_energy_pj": to_pj(array.read_energy),
+        "write_energy_pj": to_pj(array.write_energy),
+        "read_energy_per_bit_pj": to_pj(array.read_energy_per_bit),
+        "write_energy_per_bit_pj": to_pj(array.write_energy_per_bit),
+        "leakage_mw": array.leakage_power * 1e3,
+        "sleep_uw": array.sleep_power * 1e6,
+        "read_bw_gbps": array.read_bandwidth / 1e9,
+        "write_bw_gbps": array.write_bandwidth / 1e9,
+    }
+
+
+def evaluation_record(ev: SystemEvaluation) -> dict:
+    """Flatten a system evaluation into a table row."""
+    row = array_record(ev.array)
+    row.update(
+        {
+            "workload": ev.traffic.name,
+            "reads_per_s": ev.traffic.reads_per_second,
+            "writes_per_s": ev.traffic.writes_per_second,
+            "total_power_mw": ev.total_power * 1e3,
+            "dynamic_power_mw": ev.dynamic_power * 1e3,
+            "static_power_mw": ev.leakage_power * 1e3,
+            "memory_latency_s_per_s": ev.memory_latency_per_second,
+            "slowdown": ev.slowdown,
+            "feasible": ev.feasible,
+            "lifetime_years": ev.lifetime_years,
+            "energy_per_task_uj": (
+                None if ev.energy_per_task is None else ev.energy_per_task * 1e6
+            ),
+        }
+    )
+    for key, value in ev.traffic.metadata.items():
+        row.setdefault(key, value)
+    return row
+
+
+class DSEEngine:
+    """Runs sweeps and caches array characterizations along the way."""
+
+    def __init__(self) -> None:
+        self._array_cache: dict[tuple, ArrayCharacterization] = {}
+
+    def characterize(
+        self,
+        cell: CellTechnology,
+        capacity_bytes: int,
+        node_nm: int,
+        target: OptimizationTarget,
+        access_bits: int,
+        bits_per_cell: int,
+    ) -> ArrayCharacterization:
+        key = (cell, capacity_bytes, node_nm, target, access_bits, bits_per_cell)
+        if key not in self._array_cache:
+            self._array_cache[key] = characterize(
+                cell,
+                capacity_bytes,
+                node_nm=node_nm,
+                optimization_target=target,
+                access_bits=access_bits,
+                bits_per_cell=bits_per_cell,
+            )
+        return self._array_cache[key]
+
+    def arrays(self, spec: SweepSpec) -> list[ArrayCharacterization]:
+        """Characterize every (cell, capacity, target) of the sweep."""
+        out = []
+        for cell in spec.cells:
+            node = spec.node_nm
+            if not cell.tech_class.is_nonvolatile:
+                node = spec.sram_node_nm
+            for capacity in spec.capacities_bytes:
+                for target in spec.optimization_targets:
+                    out.append(
+                        self.characterize(
+                            cell, capacity, node, target,
+                            spec.access_bits, spec.bits_per_cell,
+                        )
+                    )
+        return out
+
+    def run(self, spec: SweepSpec) -> ResultTable:
+        """Run the full sweep.
+
+        Without traffic the table holds array characterizations; with
+        traffic it holds one row per (array, traffic) evaluation.
+        """
+        arrays = self.arrays(spec)
+        table = ResultTable()
+        if not spec.traffic:
+            for array in arrays:
+                table.append(array_record(array))
+            return table
+        for array in arrays:
+            for traffic in spec.traffic:
+                table.append(evaluation_record(evaluate(array, traffic)))
+        return table

@@ -1,0 +1,128 @@
+"""Intermittent-operation energy model (Sections IV-A2 and Figure 7).
+
+The accelerator wakes up per inference, runs for the workload's inference
+window, and powers down.  Energy per day:
+
+``E(N) = N * (E_access + P_leak * t_active + E_wake) + P_sleep * t_sleep``
+
+* ``E_access`` — dynamic energy of the inference's memory accesses.
+* ``P_leak * t_active`` — array leakage during the awake window.
+* ``E_wake`` — restoring state on wake-up: zero for eNVMs (non-volatility
+  is the whole point); for SRAM the weights must be reloaded from DRAM.
+* ``P_sleep`` — the deep-sleep rail (power gates + wake logic, proportional
+  to die area), or retention leakage for volatile memories that keep data.
+
+The interplay of the fixed daily sleep term (favoring *dense* technologies,
+small die) against the per-inference dynamic term (favoring *low
+read-energy* technologies) produces the FeFET-to-STT crossover of Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EvaluationError
+from repro.nvsim.result import ArrayCharacterization
+from repro.traffic.dnn import DNNWorkload, NVDLAPerformanceModel
+from repro.units import SECONDS_PER_DAY
+
+#: Energy to fetch one byte from off-chip DRAM (pJ/byte scale: ~20 pJ/byte).
+DRAM_ENERGY_PER_BYTE = 20e-12
+#: DRAM streaming bandwidth used for the reload-latency estimate, B/s.
+DRAM_BANDWIDTH = 12.8e9
+
+
+@dataclass(frozen=True)
+class IntermittentEvaluation:
+    """Energy accounting for one array running one workload intermittently."""
+
+    array: ArrayCharacterization
+    workload: DNNWorkload
+    inferences_per_day: float
+
+    energy_per_inference: float  # J, incl. wake cost and active leakage
+    wake_energy: float  # J per wake-up (0 for eNVM)
+    sleep_power: float  # W while powered down
+    energy_per_day: float  # J
+
+    @property
+    def label(self) -> str:
+        return f"{self.array.cell.name} x {self.workload.name}"
+
+
+def wake_energy(array: ArrayCharacterization, workload: DNNWorkload) -> float:
+    """Energy to make the weights available after power-on.
+
+    Non-volatile arrays retain them; volatile arrays reload every weight
+    byte from DRAM and pay the write energy to place it on-chip.
+    """
+    if array.cell.tech_class.is_nonvolatile:
+        return 0.0
+    reload_bytes = workload.weight_bytes
+    writes = reload_bytes / array.access_bytes
+    return reload_bytes * DRAM_ENERGY_PER_BYTE + writes * array.write_energy
+
+
+def wake_latency(array: ArrayCharacterization, workload: DNNWorkload) -> float:
+    """Time to restore weights on wake-up, seconds (0 for eNVM)."""
+    if array.cell.tech_class.is_nonvolatile:
+        return 0.0
+    return workload.weight_bytes / DRAM_BANDWIDTH
+
+
+def evaluate_intermittent(
+    array: ArrayCharacterization,
+    workload: DNNWorkload,
+    inferences_per_day: float,
+) -> IntermittentEvaluation:
+    """Daily energy for wake-per-inference operation."""
+    if inferences_per_day < 0:
+        raise EvaluationError("inferences_per_day must be non-negative")
+
+    model = NVDLAPerformanceModel(array.capacity_bytes, array.access_bytes)
+    traffic = model.intermittent_traffic(workload, inferences_per_second=1.0)
+    access_energy = (traffic.reads_per_task or 0.0) * array.read_energy
+
+    active_window = workload.inference_seconds + wake_latency(array, workload)
+    active_leak_energy = array.leakage_power * active_window
+    e_wake = wake_energy(array, workload)
+    per_inference = access_energy + active_leak_energy + e_wake
+
+    active_per_day = min(SECONDS_PER_DAY, inferences_per_day * active_window)
+    sleep_time = SECONDS_PER_DAY - active_per_day
+    per_day = inferences_per_day * per_inference + array.sleep_power * sleep_time
+
+    return IntermittentEvaluation(
+        array=array,
+        workload=workload,
+        inferences_per_day=inferences_per_day,
+        energy_per_inference=per_inference,
+        wake_energy=e_wake,
+        sleep_power=array.sleep_power,
+        energy_per_day=per_day,
+    )
+
+
+def crossover_rate(
+    a: IntermittentEvaluation, b: IntermittentEvaluation
+) -> float:
+    """Inferences/day at which arrays ``a`` and ``b`` cost the same energy.
+
+    Returns ``inf`` when one dominates at every rate.  Used to locate the
+    Figure 7 FeFET/STT crossover.
+    """
+    fixed_a = a.sleep_power * SECONDS_PER_DAY
+    fixed_b = b.sleep_power * SECONDS_PER_DAY
+    slope_a = a.energy_per_inference - a.sleep_power * _active_window(a)
+    slope_b = b.energy_per_inference - b.sleep_power * _active_window(b)
+    d_fixed = fixed_a - fixed_b
+    d_slope = slope_b - slope_a
+    # A positive crossover rate requires the one that costs more at rest to
+    # win per-inference (signs of the differences must agree).
+    if d_slope == 0 or (d_fixed > 0) != (d_slope > 0):
+        return float("inf")
+    return d_fixed / d_slope
+
+
+def _active_window(ev: IntermittentEvaluation) -> float:
+    return ev.workload.inference_seconds + wake_latency(ev.array, ev.workload)

@@ -1,0 +1,60 @@
+"""Pareto-front utilities for multi-objective design exploration."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import EvaluationError
+
+
+def pareto_front(
+    records: Iterable[Mapping[str, Any]],
+    objectives: Sequence[str],
+) -> list[dict[str, Any]]:
+    """Records not dominated on the given minimize-objectives.
+
+    A record dominates another when it is no worse on every objective and
+    strictly better on at least one.  Records missing an objective are
+    excluded.
+    """
+    if not objectives:
+        raise EvaluationError("need at least one objective")
+    candidates = [
+        dict(r)
+        for r in records
+        if all(r.get(obj) is not None for obj in objectives)
+    ]
+
+    def dominates(a: Mapping[str, Any], b: Mapping[str, Any]) -> bool:
+        no_worse = all(a[o] <= b[o] for o in objectives)
+        strictly = any(a[o] < b[o] for o in objectives)
+        return no_worse and strictly
+
+    front = []
+    for record in candidates:
+        if not any(dominates(other, record) for other in candidates):
+            front.append(record)
+    return front
+
+
+def knee_point(
+    front: Sequence[Mapping[str, Any]],
+    objectives: Sequence[str],
+) -> dict[str, Any]:
+    """The balanced point of a Pareto front (min normalized distance to the
+    per-objective minima)."""
+    if not front:
+        raise EvaluationError("empty Pareto front")
+    mins = {o: min(r[o] for r in front) for o in objectives}
+    maxs = {o: max(r[o] for r in front) for o in objectives}
+
+    def distance(record: Mapping[str, Any]) -> float:
+        total = 0.0
+        for o in objectives:
+            span = maxs[o] - mins[o]
+            if span <= 0:
+                continue
+            total += ((record[o] - mins[o]) / span) ** 2
+        return total
+
+    return dict(min(front, key=distance))

@@ -1,0 +1,128 @@
+"""Retention-aware deployment checks and scrubbing (an extension study).
+
+Several surveyed technologies retain data for far less than the 10-year
+flash standard (RRAM down to ~1e3 s, FeFET/FeRAM down to ~1e5 s).  For the
+intermittent use cases that is a real constraint: if the device sleeps
+longer than the cell retains, the weights are gone — unless the system
+wakes periodically to *scrub* (read and rewrite) the array.
+
+This module answers the deployment question quantitatively:
+
+* :func:`max_unpowered_interval` — the longest sleep the array tolerates
+  (with a safety margin against the retention spec).
+* :func:`scrub_power` — the average power of periodic scrubbing.
+* :func:`deployment_check` — combine both with a wake-up schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import EvaluationError
+from repro.nvsim.result import ArrayCharacterization
+
+#: Scrub well before the retention spec expires.
+DEFAULT_RETENTION_MARGIN = 0.1
+
+
+def max_unpowered_interval(
+    array: ArrayCharacterization,
+    margin: float = DEFAULT_RETENTION_MARGIN,
+) -> Optional[float]:
+    """Longest tolerable unpowered interval, seconds.
+
+    ``None`` means the limit is not retention-bound (SRAM/eDRAM return 0.0:
+    they retain nothing unpowered).
+    """
+    if not 0.0 < margin <= 1.0:
+        raise EvaluationError("margin must be in (0, 1]")
+    retention = array.retention_seconds
+    if not array.cell.tech_class.is_nonvolatile:
+        return 0.0
+    if retention is None:
+        return None
+    return retention * margin
+
+
+def scrub_energy_per_pass(array: ArrayCharacterization) -> float:
+    """Energy to read and rewrite the whole array once, joules."""
+    accesses = array.capacity_bytes / array.access_bytes
+    return accesses * (array.read_energy + array.write_energy)
+
+
+def scrub_power(
+    array: ArrayCharacterization,
+    margin: float = DEFAULT_RETENTION_MARGIN,
+) -> float:
+    """Average power of scrubbing at the retention-driven period, watts.
+
+    Zero when the array never needs scrubbing.
+    """
+    interval = max_unpowered_interval(array, margin)
+    if interval is None:
+        return 0.0
+    if interval <= 0.0:
+        raise EvaluationError(
+            f"{array.cell.name} cannot retain data unpowered; scrubbing "
+            "cannot help a volatile array"
+        )
+    return scrub_energy_per_pass(array) / interval
+
+
+@dataclass(frozen=True)
+class DeploymentCheck:
+    """Whether a wake-up schedule is retention-safe, and at what cost."""
+
+    array_label: str
+    wake_interval_seconds: float
+    retention_limited: bool
+    needs_scrubbing: bool
+    scrub_power_watts: float
+    scrub_writes_per_second: float
+    lifetime_impact_fraction: float  # scrub writes as fraction of endurance/s
+
+
+def deployment_check(
+    array: ArrayCharacterization,
+    wake_interval_seconds: float,
+    margin: float = DEFAULT_RETENTION_MARGIN,
+) -> DeploymentCheck:
+    """Check a sleep schedule against the array's retention.
+
+    When the natural wake interval exceeds the retention limit, the device
+    must add scrub wake-ups; the check reports their power cost and the
+    endurance they consume.
+    """
+    if wake_interval_seconds <= 0:
+        raise EvaluationError("wake interval must be positive")
+    limit = max_unpowered_interval(array, margin)
+    retention_limited = limit is not None
+    needs_scrub = retention_limited and limit < wake_interval_seconds
+    if limit == 0.0:
+        # Volatile: retention can never be satisfied by scrubbing.
+        return DeploymentCheck(
+            array_label=array.label,
+            wake_interval_seconds=wake_interval_seconds,
+            retention_limited=True,
+            needs_scrubbing=False,
+            scrub_power_watts=float("inf"),
+            scrub_writes_per_second=float("inf"),
+            lifetime_impact_fraction=0.0,
+        )
+    power = scrub_power(array, margin) if needs_scrub else 0.0
+    writes_per_second = (
+        (array.capacity_bytes / array.access_bytes) / limit if needs_scrub else 0.0
+    )
+    endurance = array.endurance_cycles or float("inf")
+    # Each scrub pass writes every cell once: per-cell write rate = 1/limit.
+    lifetime_impact = (1.0 / limit) / endurance if needs_scrub else 0.0
+    return DeploymentCheck(
+        array_label=array.label,
+        wake_interval_seconds=wake_interval_seconds,
+        retention_limited=retention_limited,
+        needs_scrubbing=needs_scrub,
+        scrub_power_watts=power,
+        scrub_writes_per_second=writes_per_second,
+        lifetime_impact_fraction=lifetime_impact,
+    )

@@ -1,0 +1,18 @@
+"""Numpy DNN substrate: layers, networks, datasets, trained proxies."""
+
+from repro.dnn.data import Dataset, gaussian_clusters
+from repro.dnn.layers import Dense, ReLU, cross_entropy_grad, softmax
+from repro.dnn.network import MLP
+from repro.dnn.proxies import TrainedProxy, trained_proxy
+
+__all__ = [
+    "Dataset",
+    "gaussian_clusters",
+    "Dense",
+    "ReLU",
+    "softmax",
+    "cross_entropy_grad",
+    "MLP",
+    "TrainedProxy",
+    "trained_proxy",
+]

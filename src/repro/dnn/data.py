@@ -1,0 +1,65 @@
+"""Deterministic synthetic classification datasets.
+
+The fault studies need a task whose accuracy is high when weights are clean
+and degrades as storage corrupts them.  Gaussian class clusters with partial
+overlap give exactly that, with fully deterministic generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Train/test split of a classification task."""
+
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    n_classes: int
+
+    @property
+    def n_features(self) -> int:
+        return self.x_train.shape[1]
+
+
+def gaussian_clusters(
+    n_classes: int = 10,
+    n_features: int = 16,
+    train_per_class: int = 200,
+    test_per_class: int = 100,
+    spread: float = 0.72,
+    seed: int = 42,
+) -> Dataset:
+    """Classes as Gaussian clusters around random unit-sphere centers.
+
+    ``spread`` controls overlap: larger spread = harder task, more headroom
+    for fault-induced degradation to show.
+    """
+    if n_classes < 2:
+        raise ReproError("need at least two classes")
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(n_classes, n_features))
+    centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+    centers *= 2.0
+
+    def sample(per_class: int, offset: int) -> tuple[np.ndarray, np.ndarray]:
+        xs, ys = [], []
+        for cls in range(n_classes):
+            local = np.random.default_rng(seed + offset + cls)
+            xs.append(centers[cls] + spread * local.normal(size=(per_class, n_features)))
+            ys.append(np.full(per_class, cls))
+        x = np.concatenate(xs).astype(np.float32)
+        y = np.concatenate(ys).astype(np.int64)
+        order = np.random.default_rng(seed + offset + 1000).permutation(len(y))
+        return x[order], y[order]
+
+    x_train, y_train = sample(train_per_class, offset=1)
+    x_test, y_test = sample(test_per_class, offset=50_000)
+    return Dataset(x_train, y_train, x_test, y_test, n_classes)

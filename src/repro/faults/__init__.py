@@ -1,0 +1,51 @@
+"""Fault modelling and application-level fault injection."""
+
+from repro.faults.encodings import (
+    QuantizedTensor,
+    cells_to_bits,
+    from_bit_array,
+    quantize_int8,
+    slice_into_cells,
+    to_bit_array,
+)
+from repro.faults.ecc import (
+    DECTED_64,
+    SECDED_64,
+    ECCScheme,
+    required_scheme,
+    scheme_by_name,
+)
+from repro.faults.injection import (
+    FaultInjector,
+    InjectionResult,
+    accuracy_under_faults,
+    inject_bits,
+)
+from repro.faults.models import (
+    FAULT_MODELLED_TECHNOLOGIES,
+    FaultModel,
+    fault_model_for,
+    fefet_mlc_error_rate,
+)
+
+__all__ = [
+    "QuantizedTensor",
+    "quantize_int8",
+    "to_bit_array",
+    "from_bit_array",
+    "slice_into_cells",
+    "cells_to_bits",
+    "FaultModel",
+    "fault_model_for",
+    "fefet_mlc_error_rate",
+    "FAULT_MODELLED_TECHNOLOGIES",
+    "FaultInjector",
+    "InjectionResult",
+    "inject_bits",
+    "accuracy_under_faults",
+    "ECCScheme",
+    "SECDED_64",
+    "DECTED_64",
+    "scheme_by_name",
+    "required_scheme",
+]

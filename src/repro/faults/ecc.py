@@ -1,0 +1,122 @@
+"""Error-correcting-code models for eNVM storage.
+
+The paper's reliability studies cite error mitigation (MaxNVM-style) as the
+lever that makes dense-but-faulty storage usable.  This module provides
+analytical models of the standard on-chip schemes:
+
+* :data:`SECDED_64` — Hamming SEC-DED over 64-bit words (72,64),
+* :data:`DECTED_64` — double-error-correcting BCH over 64-bit words,
+* parameterized :class:`ECCScheme` for custom codes.
+
+Given a raw per-bit error probability, :meth:`ECCScheme.corrected_ber`
+computes the post-correction word-failure-driven bit error rate (binomial
+tail of >t errors in an n-bit codeword), and
+:meth:`ECCScheme.effective_density_factor` accounts for the parity storage
+overhead — so the MLC density-vs-reliability trade of Figure 13 can be
+re-examined with correction in the loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import FaultModelError
+
+
+@dataclass(frozen=True)
+class ECCScheme:
+    """An (n, k) block code correcting up to ``t`` bit errors per word."""
+
+    name: str
+    data_bits: int  # k
+    code_bits: int  # n
+    correctable: int  # t
+
+    def __post_init__(self) -> None:
+        if self.data_bits <= 0 or self.code_bits <= self.data_bits:
+            raise FaultModelError(f"{self.name}: need code_bits > data_bits > 0")
+        if self.correctable < 0:
+            raise FaultModelError(f"{self.name}: correctable must be >= 0")
+
+    @property
+    def overhead(self) -> float:
+        """Parity overhead as a fraction of data bits."""
+        return (self.code_bits - self.data_bits) / self.data_bits
+
+    def effective_density_factor(self) -> float:
+        """Usable-density multiplier once parity is stored (< 1)."""
+        return self.data_bits / self.code_bits
+
+    def word_failure_probability(self, raw_ber: float) -> float:
+        """Probability a codeword has more errors than the code corrects."""
+        if not 0.0 <= raw_ber <= 1.0:
+            raise FaultModelError("raw_ber must be a probability")
+        if raw_ber == 0.0:
+            return 0.0
+        n, t = self.code_bits, self.correctable
+        # P(X > t) with X ~ Binomial(n, p); sum the complement.
+        p_ok = 0.0
+        for errors in range(t + 1):
+            p_ok += (
+                math.comb(n, errors)
+                * raw_ber**errors
+                * (1.0 - raw_ber) ** (n - errors)
+            )
+        return max(0.0, 1.0 - p_ok)
+
+    def corrected_ber(self, raw_ber: float) -> float:
+        """Post-correction effective bit error rate.
+
+        When a word fails, roughly ``t + 1`` bits are wrong (the code fixed
+        none of them and may miscorrect); spread over the word's data bits.
+        """
+        p_fail = self.word_failure_probability(raw_ber)
+        wrong_bits = min(self.correctable + 1, self.data_bits)
+        return min(1.0, p_fail * wrong_bits / self.data_bits)
+
+    def access_energy_factor(self) -> float:
+        """Dynamic-energy multiplier: parity bits are read/written too."""
+        return self.code_bits / self.data_bits
+
+
+#: No correction (the baseline of every study).
+NO_ECC = ECCScheme(name="none", data_bits=64, code_bits=65, correctable=0)
+# (code_bits=65 would be a parity bit; to model truly-no-ECC use factor
+#  helpers below instead.)
+
+#: Hamming SEC-DED (72, 64): fixes any single bit error per 64-bit word.
+SECDED_64 = ECCScheme(name="SECDED-72,64", data_bits=64, code_bits=72, correctable=1)
+
+#: Shortened BCH DEC-TED (78, 64): fixes two bit errors per word.
+DECTED_64 = ECCScheme(name="DECTED-78,64", data_bits=64, code_bits=78, correctable=2)
+
+SCHEMES: dict[str, ECCScheme] = {
+    "secded": SECDED_64,
+    "dected": DECTED_64,
+}
+
+
+def scheme_by_name(name: str) -> ECCScheme:
+    try:
+        return SCHEMES[name.strip().lower()]
+    except KeyError:
+        raise FaultModelError(
+            f"unknown ECC scheme {name!r} (known: {sorted(SCHEMES)})"
+        ) from None
+
+
+def required_scheme(raw_ber: float, target_ber: float) -> ECCScheme | None:
+    """The weakest standard scheme achieving ``target_ber``, or None.
+
+    Returns ``None`` when no correction is needed, raises when even DEC-TED
+    cannot reach the target.
+    """
+    if raw_ber <= target_ber:
+        return None
+    for scheme in (SECDED_64, DECTED_64):
+        if scheme.corrected_ber(raw_ber) <= target_ber:
+            return scheme
+    raise FaultModelError(
+        f"no standard scheme corrects raw BER {raw_ber:.2e} to {target_ber:.2e}"
+    )

@@ -1,0 +1,73 @@
+"""Storage encodings and bit-level views of application data.
+
+Fault injection operates on the *stored* representation: weights are
+quantized to the storage format (int8 by default), viewed as bits, sliced
+across memory cells (2 bits per cell for MLC), corrupted, and decoded back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FaultModelError
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An int8-quantized tensor with its dequantization scale."""
+
+    values: np.ndarray  # int8
+    scale: float
+
+    def dequantize(self) -> np.ndarray:
+        return self.values.astype(np.float32) * self.scale
+
+
+def quantize_int8(tensor: np.ndarray) -> QuantizedTensor:
+    """Symmetric linear quantization to int8."""
+    tensor = np.asarray(tensor, dtype=np.float32)
+    peak = float(np.max(np.abs(tensor))) if tensor.size else 0.0
+    scale = peak / 127.0 if peak > 0 else 1.0
+    values = np.clip(np.round(tensor / scale), -127, 127).astype(np.int8)
+    return QuantizedTensor(values=values, scale=scale)
+
+
+def to_bit_array(values: np.ndarray) -> np.ndarray:
+    """View an int8 array as a flat bit array (uint8 of 0/1), MSB first."""
+    as_u8 = values.astype(np.int8).view(np.uint8)
+    return np.unpackbits(as_u8.reshape(-1, 1), axis=1, bitorder="big").reshape(-1)
+
+def from_bit_array(bits: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`to_bit_array`."""
+    if bits.size % 8 != 0:
+        raise FaultModelError("bit array length must be a multiple of 8")
+    packed = np.packbits(bits.reshape(-1, 8), axis=1, bitorder="big").reshape(-1)
+    return packed.view(np.int8).reshape(shape)
+
+
+def slice_into_cells(bits: np.ndarray, bits_per_cell: int) -> np.ndarray:
+    """Group a flat bit array into cells of ``bits_per_cell`` bits.
+
+    Returns an integer array of cell levels, shape (n_cells,).  Pads with
+    zero bits when the length is not a multiple (the pad never decodes back
+    into data).
+    """
+    if bits_per_cell < 1:
+        raise FaultModelError("bits_per_cell must be >= 1")
+    remainder = bits.size % bits_per_cell
+    if remainder:
+        bits = np.concatenate([bits, np.zeros(bits_per_cell - remainder, dtype=bits.dtype)])
+    grouped = bits.reshape(-1, bits_per_cell)
+    weights = 1 << np.arange(bits_per_cell - 1, -1, -1)
+    return (grouped * weights).sum(axis=1)
+
+
+def cells_to_bits(levels: np.ndarray, bits_per_cell: int, n_bits: int) -> np.ndarray:
+    """Inverse of :func:`slice_into_cells`, truncated to ``n_bits``."""
+    if bits_per_cell < 1:
+        raise FaultModelError("bits_per_cell must be >= 1")
+    shifts = np.arange(bits_per_cell - 1, -1, -1)
+    bits = ((levels.reshape(-1, 1) >> shifts) & 1).astype(np.uint8).reshape(-1)
+    return bits[:n_bits]

@@ -1,0 +1,127 @@
+"""Application-level fault injection (the paper's Ares-derived tool).
+
+Corrupts application data the way the storage would: quantize to the stored
+format, slice the bits across cells, flip cell levels with the fault model's
+probability, decode, and hand the damaged tensor back to the application.
+MLC level errors are modelled as +-1 level excursions over a Gray-coded
+mapping, so a single cell error usually damages a single bit — exactly what
+multi-level sensing margin analysis predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import FaultModelError
+from repro.faults.encodings import (
+    QuantizedTensor,
+    cells_to_bits,
+    from_bit_array,
+    quantize_int8,
+    slice_into_cells,
+    to_bit_array,
+)
+from repro.faults.models import FaultModel
+
+_GRAY_2BIT = np.array([0b00, 0b01, 0b11, 0b10], dtype=np.int64)
+_GRAY_2BIT_INVERSE = np.argsort(_GRAY_2BIT)
+
+
+def inject_bits(
+    bits: np.ndarray,
+    cell_error_rate: float,
+    bits_per_cell: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Corrupt a flat bit array through the cell-level error process."""
+    if not 0.0 <= cell_error_rate <= 1.0:
+        raise FaultModelError("cell_error_rate must be a probability")
+    n_bits = bits.size
+    levels = slice_into_cells(bits, bits_per_cell)
+    n_cells = levels.size
+    errors = rng.random(n_cells) < cell_error_rate
+    n_errors = int(errors.sum())
+    if n_errors == 0:
+        return bits.copy()
+
+    corrupted = levels.copy()
+    if bits_per_cell == 1:
+        corrupted[errors] ^= 1
+    else:
+        # Gray-coded levels drift +-1 with equal probability (clamped at the
+        # window edges), so most cell errors cost one bit.
+        gray = _GRAY_2BIT_INVERSE[corrupted[errors]]
+        step = rng.choice([-1, 1], size=n_errors)
+        drifted = np.clip(gray + step, 0, (1 << bits_per_cell) - 1)
+        corrupted[errors] = _GRAY_2BIT[drifted]
+    return cells_to_bits(corrupted, bits_per_cell, n_bits)
+
+
+@dataclass
+class InjectionResult:
+    """One fault-injection trial's outcome."""
+
+    corrupted: np.ndarray  # same shape/dtype family as the input tensor
+    n_cell_errors: int
+    n_bit_flips: int
+
+
+class FaultInjector:
+    """Injects storage faults into float tensors via int8 quantization."""
+
+    def __init__(self, model: FaultModel, seed: int = 0) -> None:
+        self.model = model
+        self._rng = np.random.default_rng(seed)
+
+    def inject(self, tensor: np.ndarray) -> InjectionResult:
+        """One trial: quantize, corrupt, dequantize."""
+        quantized = quantize_int8(tensor)
+        shape = quantized.values.shape
+        bits = to_bit_array(quantized.values)
+        damaged_bits = inject_bits(
+            bits, self.model.cell_error_rate, self.model.bits_per_cell, self._rng
+        )
+        n_flips = int(np.count_nonzero(bits != damaged_bits))
+        damaged_values = from_bit_array(damaged_bits, shape)
+        damaged = QuantizedTensor(values=damaged_values, scale=quantized.scale)
+        # Cell errors are not directly observable post-decode; report the
+        # bit damage and approximate cell errors by it (>= flips / bits_per_cell).
+        return InjectionResult(
+            corrupted=damaged.dequantize().astype(tensor.dtype, copy=False),
+            n_cell_errors=max(
+                n_flips // max(1, self.model.bits_per_cell), int(n_flips > 0)
+            ) if n_flips else 0,
+            n_bit_flips=n_flips,
+        )
+
+    def inject_many(
+        self, tensors: Sequence[np.ndarray]
+    ) -> list[InjectionResult]:
+        """Independently corrupt a list of tensors (e.g. per-layer weights)."""
+        return [self.inject(t) for t in tensors]
+
+
+def accuracy_under_faults(
+    evaluate_with_weights: Callable[[Sequence[np.ndarray]], float],
+    weights: Sequence[np.ndarray],
+    model: FaultModel,
+    trials: int = 5,
+    seed: int = 0,
+) -> float:
+    """Mean task accuracy across fault-injection trials.
+
+    ``evaluate_with_weights`` maps a full weight set to a task accuracy;
+    this is the integration point with :mod:`repro.dnn` (and, in the paper,
+    with PyTorch/snap).
+    """
+    if trials < 1:
+        raise FaultModelError("need at least one trial")
+    accuracies = []
+    for trial in range(trials):
+        injector = FaultInjector(model, seed=seed + trial)
+        damaged = [r.corrupted for r in injector.inject_many(weights)]
+        accuracies.append(evaluate_with_weights(damaged))
+    return float(np.mean(accuracies))

@@ -1,0 +1,120 @@
+"""Technology-specific fault models (Section II-B2).
+
+The paper derives fault characteristics from SPICE-level modelling for the
+technologies with sufficient published circuit data — RRAM, CTT, and FeFET —
+distinguishing single-level from two-bit multi-level programming.  The
+driving physics encoded here:
+
+* **SLC** storage is robust for all three (raw bit error rates ~1e-7..1e-6).
+* **MLC RRAM / CTT** squeeze four levels into the same resistance window:
+  error rates rise to the ~1e-4 regime but remain tolerable for
+  error-resilient workloads (this is the paper's "image classification is
+  robust to 2-bit MLC RRAM" result).
+* **MLC FeFET** is limited by device-to-device threshold-voltage variation,
+  which *grows as cells shrink*; only large-area FeFET cells program four
+  levels reliably (Figure 13's headline).  We model sigma_vt ~ 1/sqrt(area),
+  so the level-confusion probability falls off steeply with cell area.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cells.base import CellTechnology, TechnologyClass
+from repro.errors import FaultModelError
+
+#: Technologies with enough circuit-level data to build fault models
+#: (exactly the subset the paper uses).
+FAULT_MODELLED_TECHNOLOGIES = (
+    TechnologyClass.RRAM,
+    TechnologyClass.CTT,
+    TechnologyClass.FEFET,
+)
+
+#: Reference cell area for the FeFET variation model, F^2.
+_FEFET_REFERENCE_AREA = 40.0
+#: MLC FeFET cell-error rate at the reference area.
+_FEFET_REFERENCE_MLC_BER = 1.5e-4
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Per-cell error probability for one (technology, levels) pair.
+
+    ``cell_error_rate`` is the probability a cell reads back at a wrong
+    level.  For SLC that is one flipped bit; for MLC the decoder maps one
+    level error into (mostly) one-bit damage via Gray coding, which the
+    injector models.
+    """
+
+    tech_class: TechnologyClass
+    bits_per_cell: int
+    cell_error_rate: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cell_error_rate <= 1.0:
+            raise FaultModelError("cell_error_rate must be a probability")
+        if self.bits_per_cell < 1:
+            raise FaultModelError("bits_per_cell must be >= 1")
+
+
+def fefet_mlc_error_rate(area_f2: float) -> float:
+    """MLC FeFET cell-error rate as a function of cell area.
+
+    Threshold-voltage variation scales like 1/sqrt(area); the probability
+    of crossing into a neighboring level is exponential in the margin over
+    sigma, giving a steep area dependence: large cells are reliable, small
+    cells are not.
+    """
+    if area_f2 <= 0:
+        raise FaultModelError("cell area must be positive")
+    sigma_ratio = math.sqrt(_FEFET_REFERENCE_AREA / area_f2)
+    # Error rate at reference corresponds to a margin of ~3.6 sigma.
+    reference_margin = 3.6
+    margin = reference_margin / sigma_ratio
+    # Gaussian tail approximation, normalized to the reference BER.
+    rate = _FEFET_REFERENCE_MLC_BER * math.exp(
+        0.5 * (reference_margin**2 - margin**2)
+    )
+    return min(0.5, rate)
+
+
+def fault_model_for(cell: CellTechnology, bits_per_cell: int = 1) -> FaultModel:
+    """Build the fault model for ``cell`` at the given MLC depth.
+
+    Raises
+    ------
+    FaultModelError
+        For technologies without published circuit data to model (the paper
+        models RRAM, CTT, and FeFET only), or unsupported level counts.
+    """
+    tech = cell.tech_class
+    if tech not in FAULT_MODELLED_TECHNOLOGIES:
+        raise FaultModelError(
+            f"no fault model for {tech.value}: the framework (like the paper) "
+            "models RRAM, CTT, and FeFET"
+        )
+    if bits_per_cell not in (1, 2):
+        raise FaultModelError("fault models cover 1- and 2-bit cells")
+
+    if tech is TechnologyClass.RRAM:
+        rate = 1e-7 if bits_per_cell == 1 else 2e-4
+        why = "resistance-window partitioning"
+    elif tech is TechnologyClass.CTT:
+        rate = 1e-7 if bits_per_cell == 1 else 3e-4
+        why = "charge-trap level spacing"
+    else:  # FeFET
+        if bits_per_cell == 1:
+            rate = min(0.5, 1e-6 * (_FEFET_REFERENCE_AREA / cell.area_f2) ** 0.5)
+        else:
+            rate = fefet_mlc_error_rate(cell.area_f2)
+        why = f"device-to-device variation at {cell.area_f2:g} F^2"
+
+    return FaultModel(
+        tech_class=tech,
+        bits_per_cell=bits_per_cell,
+        cell_error_rate=rate,
+        description=f"{tech.value} {bits_per_cell}-bit: {why}",
+    )

@@ -1,0 +1,45 @@
+"""Array characterization engine (the NVSim reimplementation).
+
+Public entry points:
+
+* :func:`characterize` — one cell + capacity + optimization target -> one
+  :class:`ArrayCharacterization`.
+* :func:`characterize_sweep` — many cells x many targets (Figure 3).
+* :func:`all_organizations` — the full organization cloud (Figure 12).
+"""
+
+from repro.nvsim.backends import (
+    AnalyticalBackend,
+    CharacterizationBackend,
+    TableBackend,
+)
+from repro.nvsim.characterize import (
+    DEFAULT_ACCESS_BITS,
+    all_organizations,
+    characterize,
+    characterize_sweep,
+)
+from repro.nvsim.stacking import characterize_stacked, stacking_sweep
+from repro.nvsim.organization import ArrayOrganization, candidate_organizations
+from repro.nvsim.result import (
+    DEFAULT_TARGET_SWEEP,
+    ArrayCharacterization,
+    OptimizationTarget,
+)
+
+__all__ = [
+    "DEFAULT_ACCESS_BITS",
+    "DEFAULT_TARGET_SWEEP",
+    "ArrayCharacterization",
+    "ArrayOrganization",
+    "OptimizationTarget",
+    "all_organizations",
+    "candidate_organizations",
+    "characterize",
+    "characterize_sweep",
+    "characterize_stacked",
+    "stacking_sweep",
+    "AnalyticalBackend",
+    "TableBackend",
+    "CharacterizationBackend",
+]

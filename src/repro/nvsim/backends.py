@@ -1,0 +1,153 @@
+"""Pluggable array-characterization backends.
+
+The paper's appendix notes "support for ... alternative memory
+characterization backends is under development".  This module defines the
+backend protocol and two implementations:
+
+* :class:`AnalyticalBackend` — the default, wrapping this package's NVSim
+  reimplementation (:func:`repro.nvsim.characterize`).
+* :class:`TableBackend` — replays externally-produced characterizations
+  (e.g. CSV output of real NVSim/DESTINY runs, or measured silicon) with
+  log-log interpolation across capacity, so users can drop in their own
+  data without touching the evaluation engine.
+
+Every backend returns the same :class:`ArrayCharacterization`, so the
+cross-stack layers are backend-agnostic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Protocol
+
+from repro.cells.base import CellTechnology
+from repro.errors import CharacterizationError
+from repro.nvsim.characterize import characterize
+from repro.nvsim.organization import ArrayOrganization
+from repro.nvsim.result import ArrayCharacterization, OptimizationTarget
+from repro.units import BITS_PER_BYTE
+
+
+class CharacterizationBackend(Protocol):
+    """Anything that can turn (cell, capacity, ...) into a characterization."""
+
+    def characterize(
+        self,
+        cell: CellTechnology,
+        capacity_bytes: int,
+        node_nm: int = 22,
+        optimization_target: OptimizationTarget = OptimizationTarget.READ_EDP,
+        access_bits: int = 64,
+        bits_per_cell: int = 1,
+    ) -> ArrayCharacterization:
+        ...
+
+
+class AnalyticalBackend:
+    """The built-in analytical model (default backend)."""
+
+    def characterize(self, cell, capacity_bytes, node_nm=22,
+                     optimization_target=OptimizationTarget.READ_EDP,
+                     access_bits=64, bits_per_cell=1) -> ArrayCharacterization:
+        return characterize(
+            cell, capacity_bytes, node_nm=node_nm,
+            optimization_target=optimization_target,
+            access_bits=access_bits, bits_per_cell=bits_per_cell,
+        )
+
+
+class TableBackend:
+    """Characterizations interpolated from externally-supplied rows.
+
+    ``rows`` are dicts with keys: ``capacity_bytes``, ``area_mm2``,
+    ``read_latency_ns``, ``write_latency_ns``, ``read_energy_pj``,
+    ``write_energy_pj``, ``leakage_mw`` (and optionally ``sleep_uw``,
+    ``area_efficiency``).  Interpolation is log-log in capacity;
+    extrapolation beyond the table's range is refused.
+    """
+
+    _REQUIRED = (
+        "capacity_bytes", "area_mm2", "read_latency_ns", "write_latency_ns",
+        "read_energy_pj", "write_energy_pj", "leakage_mw",
+    )
+
+    def __init__(self, cell: CellTechnology, rows: Iterable[dict]) -> None:
+        self.cell = cell
+        self._rows = sorted(
+            (dict(r) for r in rows), key=lambda r: r["capacity_bytes"]
+        )
+        if len(self._rows) < 1:
+            raise CharacterizationError("table backend needs at least one row")
+        for row in self._rows:
+            missing = [k for k in self._REQUIRED if k not in row]
+            if missing:
+                raise CharacterizationError(
+                    f"table backend row missing fields: {missing}"
+                )
+
+    def _interpolate(self, capacity_bytes: int) -> dict:
+        rows = self._rows
+        lo, hi = rows[0], rows[-1]
+        if not lo["capacity_bytes"] <= capacity_bytes <= hi["capacity_bytes"]:
+            raise CharacterizationError(
+                f"capacity {capacity_bytes} outside table range "
+                f"[{lo['capacity_bytes']}, {hi['capacity_bytes']}]"
+            )
+        for a, b in zip(rows, rows[1:]):
+            if a["capacity_bytes"] <= capacity_bytes <= b["capacity_bytes"]:
+                lo, hi = a, b
+                break
+        if lo["capacity_bytes"] == hi["capacity_bytes"]:
+            return dict(lo)
+        t = (
+            math.log(capacity_bytes / lo["capacity_bytes"])
+            / math.log(hi["capacity_bytes"] / lo["capacity_bytes"])
+        )
+        out = {}
+        for key in set(lo) | set(hi):
+            a, b = lo.get(key), hi.get(key)
+            if isinstance(a, (int, float)) and isinstance(b, (int, float)) \
+                    and a > 0 and b > 0:
+                out[key] = math.exp(math.log(a) + t * (math.log(b) - math.log(a)))
+            else:
+                out[key] = a if a is not None else b
+        return out
+
+    def characterize(self, cell, capacity_bytes, node_nm=22,
+                     optimization_target=OptimizationTarget.READ_EDP,
+                     access_bits=64, bits_per_cell=1) -> ArrayCharacterization:
+        if cell != self.cell:
+            raise CharacterizationError(
+                "table backend was built for a different cell"
+            )
+        row = self._interpolate(int(capacity_bytes))
+        capacity_bits = int(capacity_bytes) * BITS_PER_BYTE
+        # A nominal organization consistent with the capacity so bandwidth
+        # and concurrency remain defined.
+        rows_, cols_ = 1024, 2048
+        n_sub = max(1, math.ceil(capacity_bits / (rows_ * cols_ * bits_per_cell)))
+        organization = ArrayOrganization(
+            rows=rows_, cols=cols_, mux=32, n_subarrays=n_sub,
+            active_subarrays=1, access_bits=access_bits,
+            bits_per_cell=bits_per_cell,
+        )
+        area = row["area_mm2"] * 1e-6
+        return ArrayCharacterization(
+            cell=cell,
+            capacity_bytes=int(capacity_bytes),
+            node_nm=node_nm,
+            bits_per_cell=bits_per_cell,
+            optimization_target=optimization_target,
+            organization=organization,
+            area=area,
+            area_efficiency=float(row.get("area_efficiency", 0.8)),
+            read_latency=row["read_latency_ns"] * 1e-9,
+            write_latency=row["write_latency_ns"] * 1e-9,
+            read_energy=row["read_energy_pj"] * 1e-12,
+            write_energy=row["write_energy_pj"] * 1e-12,
+            leakage_power=row["leakage_mw"] * 1e-3,
+            sleep_power=float(row.get("sleep_uw", 100.0 * row["area_mm2"])) * 1e-6,
+        )
+
+
+DEFAULT_BACKEND = AnalyticalBackend()

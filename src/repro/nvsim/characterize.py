@@ -1,0 +1,240 @@
+"""The characterizer front-end: sweep organizations, pick the best.
+
+:func:`characterize` is the package's equivalent of running NVSim once: it
+explores every candidate internal organization for the requested capacity
+and returns the one that minimizes the chosen optimization target.
+:func:`characterize_sweep` runs several targets at once (Figure 3's
+"various optimization targets"), and :func:`pareto_front` exposes the whole
+organization space for the area-efficiency co-design study (Figure 12).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Optional, Sequence
+
+from repro.cells.base import CellTechnology
+from repro.errors import CharacterizationError
+from repro.nvsim.model import evaluate_organization
+from repro.nvsim.organization import ArrayOrganization, candidate_organizations
+from repro.nvsim.result import (
+    DEFAULT_TARGET_SWEEP,
+    ArrayCharacterization,
+    OptimizationTarget,
+)
+from repro.tech.node import get_node
+from repro.units import BITS_PER_BYTE
+
+#: Default data bits moved per access (a 64-bit word); the LLC studies use
+#: 512 (a 64-byte line).
+DEFAULT_ACCESS_BITS = 64
+
+#: Designs below this area efficiency are rejected outright as unbuildable.
+MIN_AREA_EFFICIENCY = 0.02
+#: The characterizer prefers designs at or above this efficiency (a real
+#: memory compiler would not tape out a macro that is mostly periphery);
+#: it falls back to the full space when nothing qualifies.  Figure 12's
+#: co-design study explores relaxing exactly this constraint.
+PREFERRED_AREA_EFFICIENCY = 0.50
+
+
+def _rank_metric(
+    numbers_read_latency: float,
+    numbers_write_latency: float,
+    numbers_read_energy: float,
+    numbers_write_energy: float,
+    numbers_area: float,
+    numbers_leakage: float,
+    target: OptimizationTarget,
+) -> float:
+    table = {
+        OptimizationTarget.READ_LATENCY: numbers_read_latency,
+        OptimizationTarget.WRITE_LATENCY: numbers_write_latency,
+        OptimizationTarget.READ_ENERGY: numbers_read_energy,
+        OptimizationTarget.WRITE_ENERGY: numbers_write_energy,
+        OptimizationTarget.READ_EDP: numbers_read_energy * numbers_read_latency,
+        OptimizationTarget.WRITE_EDP: numbers_write_energy * numbers_write_latency,
+        OptimizationTarget.AREA: numbers_area,
+        OptimizationTarget.LEAKAGE: numbers_leakage,
+    }
+    return table[target]
+
+
+@lru_cache(maxsize=4096)
+def _characterize_all(
+    cell: CellTechnology,
+    capacity_bytes: int,
+    node_nm: int,
+    access_bits: int,
+    bits_per_cell: int,
+) -> tuple[tuple[ArrayOrganization, "object"], ...]:
+    """Evaluate every candidate organization once (cached)."""
+    node = get_node(node_nm)
+    capacity_bits = capacity_bytes * BITS_PER_BYTE
+    evaluated = []
+    for org in candidate_organizations(capacity_bits, access_bits, bits_per_cell):
+        numbers = evaluate_organization(cell, node, org)
+        if numbers.area_efficiency < MIN_AREA_EFFICIENCY:
+            continue
+        evaluated.append((org, numbers))
+    if not evaluated:
+        raise CharacterizationError(
+            f"no feasible organization for {cell.name} at {capacity_bytes} bytes "
+            f"({bits_per_cell} bits/cell, {access_bits}-bit access)"
+        )
+    return tuple(evaluated)
+
+
+def characterize(
+    cell: CellTechnology,
+    capacity_bytes: int,
+    node_nm: int = 22,
+    optimization_target: OptimizationTarget = OptimizationTarget.READ_EDP,
+    access_bits: int = DEFAULT_ACCESS_BITS,
+    bits_per_cell: int = 1,
+) -> ArrayCharacterization:
+    """Characterize one memory array (the NVSim entry point).
+
+    Parameters
+    ----------
+    cell:
+        The memory cell definition (tentpole, preset, or custom).
+    capacity_bytes:
+        Usable array capacity in bytes.
+    node_nm:
+        Implementation process node (the paper implements eNVMs at 22 nm and
+        compares against 16 nm SRAM).
+    optimization_target:
+        Which metric the internal-organization sweep minimizes.
+    access_bits:
+        Data bits transferred per access (64 for a word, 512 for a cache
+        line).
+    bits_per_cell:
+        1 for SLC; >1 engages the MLC read/write models.
+
+    Raises
+    ------
+    CharacterizationError
+        If no internal organization can realize the request.
+    """
+    cell.with_bits_per_cell(bits_per_cell)
+    evaluated = _characterize_all(
+        cell, int(capacity_bytes), node_nm, access_bits, bits_per_cell
+    )
+    preferred = tuple(
+        pair for pair in evaluated
+        if pair[1].area_efficiency >= PREFERRED_AREA_EFFICIENCY
+    )
+    if preferred:
+        evaluated = preferred
+
+    def metric(pair) -> float:
+        return _rank_metric(
+            pair[1].read_latency,
+            pair[1].write_latency,
+            pair[1].read_energy,
+            pair[1].write_energy,
+            pair[1].area,
+            pair[1].leakage_power,
+            optimization_target,
+        )
+
+    best_value = min(metric(pair) for pair in evaluated)
+    # Among organizations within 5% of the optimum, prefer the one with the
+    # highest area efficiency (fewest subarrays / least periphery), then the
+    # most bank-level concurrency — a real memory compiler breaks near-ties
+    # toward the cheaper design, and banking is free among equals.
+    near_optimal = [pair for pair in evaluated if metric(pair) <= 1.05 * best_value]
+    best_org, best = max(
+        near_optimal,
+        key=lambda pair: (round(pair[1].area_efficiency, 2), pair[0].concurrency),
+    )
+    return ArrayCharacterization(
+        cell=cell,
+        capacity_bytes=int(capacity_bytes),
+        node_nm=node_nm,
+        bits_per_cell=bits_per_cell,
+        optimization_target=optimization_target,
+        organization=best_org,
+        area=best.area,
+        area_efficiency=best.area_efficiency,
+        read_latency=best.read_latency,
+        write_latency=best.write_latency,
+        read_energy=best.read_energy,
+        write_energy=best.write_energy,
+        leakage_power=best.leakage_power,
+        sleep_power=best.sleep_power,
+    )
+
+
+def characterize_sweep(
+    cells: Iterable[CellTechnology],
+    capacity_bytes: int,
+    node_nm: int = 22,
+    targets: Sequence[OptimizationTarget] = DEFAULT_TARGET_SWEEP,
+    access_bits: int = DEFAULT_ACCESS_BITS,
+    bits_per_cell: int = 1,
+    sram_node_nm: Optional[int] = 16,
+) -> list[ArrayCharacterization]:
+    """Characterize many cells under many optimization targets (Figure 3).
+
+    SRAM cells are implemented at ``sram_node_nm`` (16 nm in the paper)
+    while eNVMs use ``node_nm`` (22 nm), matching the paper's comparison
+    setup.
+    """
+    results: list[ArrayCharacterization] = []
+    for cell in cells:
+        cell_node = node_nm
+        if not cell.tech_class.is_nonvolatile and sram_node_nm is not None:
+            cell_node = sram_node_nm
+        for target in targets:
+            results.append(
+                characterize(
+                    cell,
+                    capacity_bytes,
+                    node_nm=cell_node,
+                    optimization_target=target,
+                    access_bits=access_bits,
+                    bits_per_cell=bits_per_cell,
+                )
+            )
+    return results
+
+
+def all_organizations(
+    cell: CellTechnology,
+    capacity_bytes: int,
+    node_nm: int = 22,
+    access_bits: int = DEFAULT_ACCESS_BITS,
+    bits_per_cell: int = 1,
+) -> list[ArrayCharacterization]:
+    """Every feasible organization as a full characterization (Figure 12).
+
+    Unlike :func:`characterize` this does not pick a winner — the co-design
+    studies filter this cloud by area efficiency and look at latency/power
+    structure across it.
+    """
+    evaluated = _characterize_all(
+        cell, int(capacity_bytes), node_nm, access_bits, bits_per_cell
+    )
+    out = []
+    for org, numbers in evaluated:
+        out.append(
+            ArrayCharacterization(
+                cell=cell,
+                capacity_bytes=int(capacity_bytes),
+                node_nm=node_nm,
+                bits_per_cell=bits_per_cell,
+                optimization_target=OptimizationTarget.READ_EDP,
+                organization=org,
+                area=numbers.area,
+                area_efficiency=numbers.area_efficiency,
+                read_latency=numbers.read_latency,
+                write_latency=numbers.write_latency,
+                read_energy=numbers.read_energy,
+                write_energy=numbers.write_energy,
+                leakage_power=numbers.leakage_power,
+                sleep_power=numbers.sleep_power,
+            )
+        )
+    return out

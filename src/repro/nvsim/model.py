@@ -1,0 +1,376 @@
+"""The array physics model: one organization -> timing/energy/area/leakage.
+
+This is the computational core of the NVSim reimplementation.  Given a cell
+technology, a process node, and an internal organization, it assembles the
+full read path (decode -> wordline -> bitline sensing -> column mux -> sense
+amp -> output drive -> global bus), the write path (decode -> wordline ->
+programming pulse(s) -> drivers), leakage, sleep power, and layout area.
+
+Modelling choices that matter for the paper's results:
+
+* **Divided wordlines and local sensing.**  Only the cells an access needs
+  are sensed/written; the row-select wire still spans the subarray but gate
+  loading is paid only on the selected segment.  This keeps dynamic energy
+  comparable across internal organizations (as in modern macros) and makes
+  the dominant cross-technology differences come from cell electricals and
+  physical wire lengths — i.e. from storage density.
+* **FET-cell technologies (FeFET, CTT)** sense through the storage
+  transistor with a boosted gate (read wordline swings to the read voltage,
+  bitline charged to it as well): their read energy sits in a tier of its
+  own (Figure 5).  Their writes are field-driven through the gate: high
+  voltage but nanoamp currents, so per-bit write energy is femtojoules.
+* **Leakage** has an organization part (decoder gates, sense-amp bias,
+  drivers) and a die-area part (power grid, well bias, clock/repeater
+  infrastructure).  The area part couples storage density to standby power.
+* **Deep sleep** burns only the power-gate / wake-logic leakage, which is
+  proportional to die area — the term that drives the intermittent-operation
+  crossover of Figure 7.
+* **MLC** reads take one sensing step per bit (successive references); MLC
+  writes use program-and-verify loops (``2^(bits-1)`` iterations with
+  partial pulses), matching the extended-NVSim behaviour the paper uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cells.base import AccessDevice, CellTechnology
+from repro.nvsim import peripheral
+from repro.nvsim.organization import ArrayOrganization
+from repro.tech.delay import rc_charge_time, rc_wire_delay
+from repro.tech.node import TechnologyNode
+
+#: Bitline swing the sense amplifier needs to resolve, volts.
+SENSE_SWING = 0.05
+#: Differential swing for 6T SRAM sensing, volts.
+SRAM_SWING = 0.10
+#: Spacing of repeaters on global wires, meters.  In-macro H-trees are only
+#: lightly buffered (NVSim's are unbuffered), which is what makes a
+#: physically large iso-capacity SRAM macro slower than a dense eNVM one.
+REPEATER_SPACING = 2.0e-3
+#: Active-array leakage per unit die area (power grid, well bias, clock and
+#: repeater infrastructure), watts per square meter: 2.2 mW/mm^2.  This
+#: couples storage density to standby power at iso-capacity.
+ACTIVE_AREA_LEAKAGE_PER_M2 = 2200.0
+#: Deep-sleep rail leakage per unit die area (power gates + always-on wake
+#: logic), watts per square meter: 100 uW/mm^2.  Drives Figure 7.
+SLEEP_LEAKAGE_PER_M2 = 100.0
+#: Fraction of a programming pulse applied per MLC verify iteration.
+MLC_PARTIAL_PULSE = 0.6
+#: Activity factor of the global data bus.
+BUS_ACTIVITY = 0.5
+#: Write-inhibit bias fraction on unselected lines of FET-cell arrays.
+FET_INHIBIT_FRACTION = 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class WireSegment:
+    """Delay / per-bit energy / leakage of a repeated global wire."""
+
+    delay: float
+    energy_per_bit: float
+    leakage_power: float
+
+
+def repeated_wire(node: TechnologyNode, length: float) -> WireSegment:
+    """A lightly-buffered global wire of ``length`` meters."""
+    if length <= 0:
+        return WireSegment(0.0, 0.0, 0.0)
+    n_segments = max(1, math.ceil(length / REPEATER_SPACING))
+    seg_len = length / n_segments
+    seg_r = node.global_wire_resistance(seg_len)
+    seg_c = node.wire_capacitance(seg_len)
+    repeater_cap = 8.0 * node.min_transistor_gate_cap
+    seg_delay = 2.0 * node.logic_gate_delay + rc_wire_delay(seg_r, seg_c + repeater_cap)
+    wire_cap_total = node.wire_capacitance(length) + n_segments * repeater_cap
+    energy_per_bit = wire_cap_total * node.vdd**2 * BUS_ACTIVITY
+    leakage = n_segments * 3.0 * node.min_transistor_leakage
+    return WireSegment(
+        delay=n_segments * seg_delay,
+        energy_per_bit=energy_per_bit,
+        leakage_power=leakage,
+    )
+
+
+@dataclass(frozen=True)
+class SubarrayGeometry:
+    """Physical geometry of one subarray and its wordlines/bitlines."""
+
+    cell_width: float
+    cell_height: float
+    wordline_length: float
+    bitline_length: float
+    wordline_wire_cap: float  # metal only, spans the subarray
+    wordline_gate_cap_per_cell: float  # device loading, paid per selected cell
+    wordline_res: float
+    bitline_cap: float
+    bitline_res: float
+    cell_area_total: float  # m^2, storage cells only
+
+
+def subarray_geometry(
+    cell: CellTechnology, node: TechnologyNode, org: ArrayOrganization
+) -> SubarrayGeometry:
+    """Compute wire lengths and RC for one ``rows x cols`` subarray."""
+    cw, ch = cell.cell_dimensions(node.feature_size)
+    wl_len = org.cols * cw
+    bl_len = org.rows * ch
+    gate_load = 0.6 * node.min_transistor_gate_cap
+    drain_load = 0.5 * node.min_transistor_drain_cap
+    if cell.access_device is AccessDevice.SRAM6T:
+        gate_load = 2.0 * node.min_transistor_gate_cap  # two access FETs
+        drain_load = 1.0 * node.min_transistor_drain_cap
+    elif cell.access_device is AccessDevice.NONE:
+        gate_load = 0.1 * node.min_transistor_gate_cap  # selector only
+        drain_load = 0.2 * node.min_transistor_drain_cap
+    return SubarrayGeometry(
+        cell_width=cw,
+        cell_height=ch,
+        wordline_length=wl_len,
+        bitline_length=bl_len,
+        wordline_wire_cap=node.wire_capacitance(wl_len),
+        wordline_gate_cap_per_cell=gate_load,
+        wordline_res=node.wire_resistance(wl_len),
+        bitline_cap=node.wire_capacitance(bl_len) + org.rows * drain_load,
+        bitline_res=node.wire_resistance(bl_len),
+        cell_area_total=org.rows * org.cols * cell.cell_area(node.feature_size),
+    )
+
+
+def _access_resistance(cell: CellTechnology, node: TechnologyNode) -> float:
+    """Series resistance of the access device, ohms."""
+    if cell.access_device is AccessDevice.NONE:
+        return 0.0
+    return node.min_transistor_on_resistance
+
+
+def bitline_sense_time(
+    cell: CellTechnology, node: TechnologyNode, geo: SubarrayGeometry
+) -> float:
+    """Time for the bitline to develop a resolvable swing, seconds."""
+    if cell.access_device in (AccessDevice.SRAM6T, AccessDevice.GAIN_CELL):
+        develop = geo.bitline_cap * SRAM_SWING / cell.read_current
+        settle = 0.38 * geo.bitline_res * geo.bitline_cap
+        return max(cell.read_pulse, develop + settle)
+    # Resistive / FET-cell sensing: the cell's on-state current must move
+    # the bitline by the sense swing; the reported read pulse bounds it from
+    # below (reference settling, sense circuit timing).
+    r_cell = cell.r_on + _access_resistance(cell, node)
+    i_sense = cell.read_voltage / max(r_cell, 1.0)
+    develop = geo.bitline_cap * SENSE_SWING / max(i_sense, 1e-12)
+    rc_settle = rc_charge_time(
+        cell.r_off + geo.bitline_res, geo.bitline_cap, SENSE_SWING / node.vdd
+    )
+    return max(cell.read_pulse, develop, 0.25 * rc_settle)
+
+
+@dataclass(frozen=True)
+class ArrayNumbers:
+    """Raw totals produced by :func:`evaluate_organization`."""
+
+    area: float
+    area_efficiency: float
+    read_latency: float
+    write_latency: float
+    read_energy: float
+    write_energy: float
+    leakage_power: float
+    sleep_power: float
+
+
+def evaluate_organization(
+    cell: CellTechnology,
+    node: TechnologyNode,
+    org: ArrayOrganization,
+) -> ArrayNumbers:
+    """Characterize the full array for one internal organization."""
+    geo = subarray_geometry(cell, node, org)
+    bits = org.bits_per_cell
+    is_fet_cell = cell.access_device is AccessDevice.TRANSISTOR_CELL
+
+    # --- peripheral blocks (per subarray) ---------------------------------
+    full_wordline_cap = (
+        geo.wordline_wire_cap + org.cols * geo.wordline_gate_cap_per_cell
+    )
+    decoder = peripheral.row_decoder(node, org.rows, full_wordline_cap)
+    mux = peripheral.column_mux(node, org.cols, org.mux)
+    amps = peripheral.sense_amplifiers(node, org.sense_amps_per_subarray)
+    drivers = peripheral.write_drivers(
+        node,
+        org.sense_amps_per_subarray,
+        cell.write_voltage,
+        max(cell.set_current, cell.reset_current),
+    )
+    pump = peripheral.charge_pump(node, cell.write_voltage)
+
+    # --- subarray footprint ------------------------------------------------
+    periph_area = decoder.area + mux.area + amps.area + drivers.area
+    subarray_area = geo.cell_area_total + periph_area
+    nx, ny = org.grid_shape
+    sub_w = geo.wordline_length + decoder.area / max(geo.bitline_length, 1e-9)
+    sub_h = subarray_area / max(sub_w, 1e-9)
+    array_w = nx * sub_w
+    array_h = ny * sub_h
+    total_area = org.n_subarrays * subarray_area + pump.area
+    total_area *= 1.08  # inter-subarray routing channels
+    area_efficiency = (org.n_subarrays * geo.cell_area_total) / total_area
+
+    # --- global interconnect -----------------------------------------------
+    htree_length = 0.5 * (array_w + array_h)
+    bus = repeated_wire(node, htree_length)
+    out = peripheral.output_driver(
+        node, node.wire_capacitance(htree_length), org.access_bits
+    )
+
+    # --- read path ----------------------------------------------------------
+    # Accessed cells per subarray activation: the access is spread across
+    # the active subarrays; divided wordlines mean only these cells' gates
+    # load the selected row segment, and only their bitlines are sensed.
+    cells_per_active = math.ceil(
+        math.ceil(org.access_bits / bits) / org.active_subarrays
+    )
+    cells_per_active = min(cells_per_active, org.sense_amps_per_subarray)
+
+    wl_delay = rc_wire_delay(geo.wordline_res, full_wordline_cap)
+    t_sense = bitline_sense_time(cell, node, geo)
+    sense_steps = bits if bits > 1 else 1  # MLC: one bit per reference step
+    read_latency = (
+        bus.delay  # address in
+        + decoder.delay
+        + wl_delay
+        + sense_steps * (t_sense + amps.delay)
+        + mux.delay
+        + out.delay
+        + bus.delay  # data out
+    )
+
+    sensed_cells = org.active_subarrays * cells_per_active
+    read_wl_voltage = cell.read_voltage if is_fet_cell else node.vdd
+    wl_read_energy = (
+        geo.wordline_wire_cap * node.vdd**2
+        + cells_per_active * geo.wordline_gate_cap_per_cell * read_wl_voltage**2
+    )
+    if cell.access_device in (AccessDevice.SRAM6T, AccessDevice.GAIN_CELL):
+        bl_energy_per_line = geo.bitline_cap * SRAM_SWING * node.vdd
+    elif is_fet_cell:
+        # FET-cell sensing boosts the *gate*; the bitline only carries a
+        # modest drain bias (~V_read/3).
+        bl_energy_per_line = (
+            geo.bitline_cap * (FET_INHIBIT_FRACTION * cell.read_voltage) ** 2
+        )
+    else:
+        bl_energy_per_line = geo.bitline_cap * cell.read_voltage**2
+    cell_read_energy = cell.read_voltage * cell.read_current * t_sense
+    read_energy = (
+        org.active_subarrays
+        * (decoder.dynamic_energy + mux.dynamic_energy + wl_read_energy)
+        + sensed_cells * bl_energy_per_line * sense_steps
+        + sensed_cells * bits * cell_read_energy
+        + sensed_cells * node.sense_amp_energy * sense_steps
+        + out.dynamic_energy
+        + org.access_bits * bus.energy_per_bit
+    )
+
+    # --- write path ----------------------------------------------------------
+    verify_iterations = 2 ** (bits - 1) if bits > 1 else 1
+    # Charging the bitline to the write level through the driver.
+    bl_charge_time = rc_wire_delay(
+        geo.bitline_res + node.min_transistor_on_resistance, geo.bitline_cap
+    )
+    pulse = cell.write_pulse + bl_charge_time
+    if bits > 1:
+        program_time = verify_iterations * (
+            MLC_PARTIAL_PULSE * pulse + t_sense + amps.delay
+        )
+    else:
+        program_time = pulse
+    write_latency = (
+        bus.delay + decoder.delay + wl_delay + drivers.delay + program_time
+    )
+
+    written_cells = sensed_cells
+    eff = peripheral.pump_efficiency(node, cell.write_voltage)
+    cell_write_energy = cell.write_energy_per_bit * bits / eff
+    if bits > 1:
+        cell_write_energy *= verify_iterations * MLC_PARTIAL_PULSE
+        verify_energy = verify_iterations * (
+            bl_energy_per_line + cell_read_energy + node.sense_amp_energy
+        )
+    else:
+        verify_energy = 0.0
+    # FET-cell programming is field-driven through the gate: the write
+    # voltage swings the selected row segment (amortized across the written
+    # cells) while bitlines carry only a small inhibit bias.  Resistive
+    # cells drive the full write voltage down each selected bitline.
+    if is_fet_cell:
+        wl_write_energy = (
+            geo.wordline_wire_cap * node.vdd**2
+            + cells_per_active
+            * geo.wordline_gate_cap_per_cell
+            * cell.write_voltage**2
+            / eff
+        )
+        bl_write_energy = (
+            geo.bitline_cap * (FET_INHIBIT_FRACTION * cell.write_voltage) ** 2 / eff
+        )
+    else:
+        wl_write_energy = (
+            geo.wordline_wire_cap * node.vdd**2
+            + cells_per_active * geo.wordline_gate_cap_per_cell * node.vdd**2
+        )
+        bl_write_energy = geo.bitline_cap * cell.write_voltage**2 / eff
+    write_energy = (
+        org.active_subarrays
+        * (decoder.dynamic_energy + mux.dynamic_energy + wl_write_energy)
+        + written_cells * (cell_write_energy + bl_write_energy + verify_energy)
+        + drivers.dynamic_energy * org.active_subarrays
+        + out.dynamic_energy
+        + org.access_bits * bus.energy_per_bit
+    )
+
+    # --- leakage --------------------------------------------------------------
+    periph_leak_per_sub = (
+        decoder.leakage_power
+        + mux.leakage_power
+        + amps.leakage_power
+        + drivers.leakage_power
+    )
+    cell_leak = cell.cell_leakage * org.n_subarrays * org.cells_per_subarray
+    leakage = (
+        org.n_subarrays * periph_leak_per_sub
+        + pump.leakage_power
+        + bus.leakage_power
+        + out.leakage_power
+        + cell_leak
+        + ACTIVE_AREA_LEAKAGE_PER_M2 * total_area
+    )
+
+    # eDRAM-style cells burn refresh power while active.
+    if cell.refresh_interval is not None:
+        row_energy = decoder.dynamic_energy + full_wordline_cap * node.vdd**2
+        row_energy += org.cols * (bl_energy_per_line + cell.write_energy_per_bit)
+        total_rows = org.n_subarrays * org.rows
+        leakage += total_rows * row_energy / cell.refresh_interval
+
+    # --- deep sleep -------------------------------------------------------------
+    sleep = SLEEP_LEAKAGE_PER_M2 * total_area
+    if cell.tech_class.is_nonvolatile:
+        sleep_power = sleep
+    elif cell.refresh_interval is not None:
+        # eDRAM cannot power off without losing data: retention refresh.
+        sleep_power = sleep + 0.5 * leakage
+    else:
+        # SRAM data-retention voltage: ~30% of nominal cell leakage.
+        sleep_power = sleep + 0.3 * cell_leak
+
+    return ArrayNumbers(
+        area=total_area,
+        area_efficiency=area_efficiency,
+        read_latency=read_latency,
+        write_latency=write_latency,
+        read_energy=read_energy,
+        write_energy=write_energy,
+        leakage_power=leakage,
+        sleep_power=sleep_power,
+    )

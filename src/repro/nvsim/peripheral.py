@@ -1,0 +1,188 @@
+"""Peripheral circuit models: decoders, muxes, drivers, charge pumps.
+
+These follow NVSim's structure: a hierarchical row decoder built from
+predecoders and final NAND stages, a pass-gate column multiplexer, inverter
+chains for wordline and output drivers, and a charge pump for technologies
+whose write voltage exceeds the logic supply.  Each model reports delay,
+dynamic energy per operation, leakage power, and layout area so the subarray
+model can assemble totals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.tech.delay import buffer_chain_delay
+from repro.tech.node import TechnologyNode
+
+
+@dataclass(frozen=True)
+class CircuitBlock:
+    """Delay / energy / leakage / area of one peripheral block."""
+
+    delay: float  # s
+    dynamic_energy: float  # J per operation
+    leakage_power: float  # W
+    area: float  # m^2
+
+    @staticmethod
+    def zero() -> "CircuitBlock":
+        return CircuitBlock(0.0, 0.0, 0.0, 0.0)
+
+    def __add__(self, other: "CircuitBlock") -> "CircuitBlock":
+        return CircuitBlock(
+            delay=self.delay + other.delay,
+            dynamic_energy=self.dynamic_energy + other.dynamic_energy,
+            leakage_power=self.leakage_power + other.leakage_power,
+            area=self.area + other.area,
+        )
+
+    def scaled(self, count: float) -> "CircuitBlock":
+        """The same block replicated ``count`` times (delay unchanged)."""
+        return CircuitBlock(
+            delay=self.delay,
+            dynamic_energy=self.dynamic_energy * count,
+            leakage_power=self.leakage_power * count,
+            area=self.area * count,
+        )
+
+
+def row_decoder(node: TechnologyNode, n_rows: int, wordline_cap: float) -> CircuitBlock:
+    """Hierarchical row decoder for ``n_rows`` wordlines.
+
+    Modelled as ``ceil(log4(n_rows))`` predecode/decode stages of FO4 delay
+    followed by a buffer chain sized to drive the selected wordline.  Energy
+    charges one path through the tree plus the wordline; leakage and area
+    scale with the total device count (~4 transistors per row at the final
+    stage plus a predecoder tree).
+    """
+    if n_rows < 2:
+        return CircuitBlock.zero()
+    n_stages = max(1, math.ceil(math.log(n_rows, 4.0)))
+    stage_cap = 4.0 * node.min_transistor_gate_cap
+    decode_delay = n_stages * node.logic_gate_delay
+    decode_energy = n_stages * stage_cap * node.vdd**2
+
+    drive = buffer_chain_delay(node, wordline_cap)
+
+    # Final-stage NAND gates: ~4 min-width transistors per row; predecoders
+    # add ~25% more devices.  High-Vt devices keep per-gate leakage at ~20%
+    # of a nominal transistor's.
+    n_devices = 4 * n_rows * 1.25
+    leakage = 0.05 * n_devices * node.min_transistor_leakage
+    gate_area = (8 * node.feature_size) * (12 * node.feature_size)
+    area = n_rows * 1.25 * gate_area
+
+    return CircuitBlock(
+        delay=decode_delay + drive.delay,
+        dynamic_energy=decode_energy + drive.energy,
+        leakage_power=leakage,
+        area=area,
+    )
+
+
+def column_mux(node: TechnologyNode, n_cols: int, mux_degree: int) -> CircuitBlock:
+    """Pass-gate column multiplexer selecting ``n_cols / mux_degree`` lines."""
+    if mux_degree <= 1:
+        return CircuitBlock.zero()
+    pass_gate_cap = 2.0 * node.min_transistor_gate_cap
+    # One select line toggles per access; delay is one RC through the gate.
+    delay = 2.0 * node.logic_gate_delay
+    energy = (n_cols / mux_degree) * pass_gate_cap * node.vdd**2
+    # Pass transistors sit in series with floating bitlines and contribute
+    # little sub-threshold current of their own.
+    n_devices = n_cols  # one pass transistor per bitline
+    leakage = 0.02 * n_devices * node.min_transistor_leakage
+    gate_area = (6 * node.feature_size) * (8 * node.feature_size)
+    return CircuitBlock(
+        delay=delay,
+        dynamic_energy=energy,
+        leakage_power=leakage,
+        area=n_devices * gate_area,
+    )
+
+
+def sense_amplifiers(node: TechnologyNode, count: int) -> CircuitBlock:
+    """A bank of ``count`` latched sense amplifiers."""
+    if count <= 0:
+        return CircuitBlock.zero()
+    # Sense amps are power-gated between accesses; only bias devices leak.
+    per_amp_leak = 0.4 * node.min_transistor_leakage
+    return CircuitBlock(
+        delay=node.sense_amp_delay,
+        dynamic_energy=count * node.sense_amp_energy,
+        leakage_power=count * per_amp_leak,
+        area=count * node.sense_amp_area,
+    )
+
+
+def write_drivers(
+    node: TechnologyNode,
+    count: int,
+    write_voltage: float,
+    write_current: float,
+) -> CircuitBlock:
+    """Per-bitline write drivers sized for the cell's programming current.
+
+    Driver width scales with the required current; the energy of switching
+    the drivers themselves (not the cell programming energy, which the
+    subarray model adds separately) charges their gate capacitance.
+    """
+    if count <= 0:
+        return CircuitBlock.zero()
+    width_factor = max(1.0, write_current / (node.ion_per_um * node.min_width_um))
+    gate_cap = width_factor * node.min_transistor_gate_cap * 2.0
+    delay = buffer_chain_delay(node, gate_cap).delay
+    energy = count * gate_cap * node.vdd**2
+    leakage = count * width_factor * 0.15 * node.min_transistor_leakage
+    per_driver_area = width_factor * (10 * node.feature_size) * (20 * node.feature_size)
+    return CircuitBlock(
+        delay=delay,
+        dynamic_energy=energy,
+        leakage_power=leakage,
+        area=count * per_driver_area,
+    )
+
+
+def charge_pump(node: TechnologyNode, write_voltage: float) -> CircuitBlock:
+    """Charge pump supplying a boosted write rail.
+
+    Only needed when the cell's write voltage exceeds vdd.  The pump's
+    inefficiency is charged to write energy by the subarray model through
+    :func:`pump_efficiency`; here we account for its standby leakage and
+    area (both grow with the boost ratio).
+    """
+    if write_voltage <= node.vdd:
+        return CircuitBlock.zero()
+    boost = write_voltage / node.vdd
+    n_stages = max(1, math.ceil(boost) - 1)
+    stage_area = (200 * node.feature_size) * (200 * node.feature_size)
+    leakage = n_stages * 20.0 * node.min_transistor_leakage
+    return CircuitBlock(
+        delay=0.0,  # the pump rail is kept charged; no per-access delay
+        dynamic_energy=0.0,
+        leakage_power=leakage,
+        area=n_stages * stage_area,
+    )
+
+
+def pump_efficiency(node: TechnologyNode, write_voltage: float) -> float:
+    """Power efficiency of the boosted write rail (1.0 when no pump)."""
+    if write_voltage <= node.vdd:
+        return 1.0
+    # Dickson-style pumps lose ~10% per stage.
+    n_stages = max(1, math.ceil(write_voltage / node.vdd) - 1)
+    return max(0.3, 0.9**n_stages)
+
+
+def output_driver(node: TechnologyNode, bus_cap: float, width_bits: int) -> CircuitBlock:
+    """Drivers pushing ``width_bits`` of data onto the global bus."""
+    drive = buffer_chain_delay(node, bus_cap)
+    gate_area = (10 * node.feature_size) * (16 * node.feature_size)
+    return CircuitBlock(
+        delay=drive.delay,
+        dynamic_energy=width_bits * drive.energy * 0.5,  # ~50% switching factor
+        leakage_power=width_bits * 0.3 * node.min_transistor_leakage,
+        area=width_bits * gate_area,
+    )

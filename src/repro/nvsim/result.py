@@ -1,0 +1,146 @@
+"""Array characterization results.
+
+:class:`ArrayCharacterization` is the contract between the array model and
+everything above it (the cross-stack engine, the studies, the benches): one
+fully-characterized memory array with its timing, energy, area, bandwidth,
+and reliability properties.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cells.base import CellTechnology
+from repro.nvsim.organization import ArrayOrganization
+from repro.units import BITS_PER_BYTE, to_mm2, to_ns, to_pj
+
+
+class OptimizationTarget(enum.Enum):
+    """What the internal-organization sweep minimizes (NVSim's -OptimizeFor)."""
+
+    READ_LATENCY = "ReadLatency"
+    WRITE_LATENCY = "WriteLatency"
+    READ_ENERGY = "ReadEnergy"
+    WRITE_ENERGY = "WriteEnergy"
+    READ_EDP = "ReadEDP"
+    WRITE_EDP = "WriteEDP"
+    AREA = "Area"
+    LEAKAGE = "Leakage"
+
+    @classmethod
+    def from_string(cls, name: str) -> "OptimizationTarget":
+        normalized = name.strip().lower().replace("_", "").replace("-", "")
+        for member in cls:
+            if member.value.lower() == normalized:
+                return member
+        raise ValueError(f"unknown optimization target: {name!r}")
+
+
+#: The targets Figure 3 sweeps ("array characterization under different
+#: optimization goals").
+DEFAULT_TARGET_SWEEP: tuple[OptimizationTarget, ...] = (
+    OptimizationTarget.READ_LATENCY,
+    OptimizationTarget.READ_EDP,
+    OptimizationTarget.WRITE_EDP,
+    OptimizationTarget.READ_ENERGY,
+    OptimizationTarget.WRITE_ENERGY,
+    OptimizationTarget.AREA,
+)
+
+
+@dataclass(frozen=True)
+class ArrayCharacterization:
+    """A characterized memory array.
+
+    All quantities are in base SI units; energies are per full access of
+    ``organization.access_bits`` data bits.
+    """
+
+    cell: CellTechnology
+    capacity_bytes: int
+    node_nm: int
+    bits_per_cell: int
+    optimization_target: OptimizationTarget
+    organization: ArrayOrganization
+
+    area: float  # m^2
+    area_efficiency: float  # cell area / total area, in (0, 1]
+    read_latency: float  # s
+    write_latency: float  # s
+    read_energy: float  # J per access
+    write_energy: float  # J per access
+    leakage_power: float  # W, array active/idle (powered)
+    sleep_power: float  # W, deep-sleep retention rail
+
+    @property
+    def label(self) -> str:
+        return f"{self.cell.name}@{self.capacity_bytes // (1024 * 1024)}MB"
+
+    @property
+    def tech_class(self):
+        return self.cell.tech_class
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.capacity_bytes * BITS_PER_BYTE
+
+    @property
+    def access_bytes(self) -> float:
+        return self.organization.access_bits / BITS_PER_BYTE
+
+    @property
+    def read_bandwidth(self) -> float:
+        """Peak sustainable read bandwidth, bytes/second (bank-pipelined)."""
+        return self.access_bytes * self.organization.concurrency / self.read_latency
+
+    @property
+    def write_bandwidth(self) -> float:
+        """Peak sustainable write bandwidth, bytes/second."""
+        return self.access_bytes * self.organization.concurrency / self.write_latency
+
+    @property
+    def density_mbit_per_mm2(self) -> float:
+        """Storage density in Mbit per mm^2."""
+        return (self.capacity_bits / 1e6) / to_mm2(self.area)
+
+    @property
+    def read_energy_per_bit(self) -> float:
+        return self.read_energy / self.organization.access_bits
+
+    @property
+    def write_energy_per_bit(self) -> float:
+        return self.write_energy / self.organization.access_bits
+
+    @property
+    def endurance_cycles(self) -> Optional[float]:
+        return self.cell.endurance_cycles
+
+    @property
+    def retention_seconds(self) -> Optional[float]:
+        return self.cell.retention_seconds
+
+    def metric(self, target: OptimizationTarget) -> float:
+        """The scalar this characterization would be ranked by for ``target``."""
+        table = {
+            OptimizationTarget.READ_LATENCY: self.read_latency,
+            OptimizationTarget.WRITE_LATENCY: self.write_latency,
+            OptimizationTarget.READ_ENERGY: self.read_energy,
+            OptimizationTarget.WRITE_ENERGY: self.write_energy,
+            OptimizationTarget.READ_EDP: self.read_energy * self.read_latency,
+            OptimizationTarget.WRITE_EDP: self.write_energy * self.write_latency,
+            OptimizationTarget.AREA: self.area,
+            OptimizationTarget.LEAKAGE: self.leakage_power,
+        }
+        return table[target]
+
+    def summary(self) -> str:
+        """Human-readable one-line summary (for examples and reports)."""
+        return (
+            f"{self.label:36s} {self.optimization_target.value:12s} "
+            f"area={to_mm2(self.area):7.3f}mm2 eff={self.area_efficiency:5.1%} "
+            f"tR={to_ns(self.read_latency):8.2f}ns tW={to_ns(self.write_latency):10.2f}ns "
+            f"eR={to_pj(self.read_energy):9.2f}pJ eW={to_pj(self.write_energy):10.2f}pJ "
+            f"leak={self.leakage_power * 1e3:7.3f}mW"
+        )

@@ -1,0 +1,123 @@
+"""3D-stacked array modelling (the DESTINY-style extension).
+
+Table III notes DESTINY "modifies NVSim to evaluate 3D integration and
+could be ... used as a back-end characterization tool for NVMExplorer".
+This module provides that extension analytically: a monolithically-stacked
+array of ``layers`` cell tiers sharing one tier of periphery.
+
+Effects modelled, following DESTINY's findings:
+
+* **Footprint** shrinks roughly by the layer count (cells stack; periphery
+  and inter-layer vias do not), raising bits/mm^2.
+* **Latency** gains from shorter global wires (smaller footprint) but pays
+  a per-layer via/select overhead.
+* **Energy** gains on the H-tree and loses a little on layer selection.
+* **Leakage** drops with footprint (the area-proportional component) while
+  the per-subarray periphery stays — it is shared across layers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from repro.errors import CharacterizationError
+from repro.nvsim.characterize import characterize
+from repro.nvsim.model import ACTIVE_AREA_LEAKAGE_PER_M2, SLEEP_LEAKAGE_PER_M2
+from repro.nvsim.result import ArrayCharacterization, OptimizationTarget
+from repro.cells.base import CellTechnology
+
+#: Extra select/via delay per additional layer, seconds.
+LAYER_SELECT_DELAY = 60e-12
+#: Extra select energy per access per additional layer, joules.
+LAYER_SELECT_ENERGY = 15e-15
+#: Fraction of the planar area that cannot stack (periphery tier, vias).
+UNSTACKABLE_FRACTION = 0.15
+
+#: Technologies demonstrated as stackable in the surveyed literature
+#: (vertical RRAM, 3D cross-point PCM); others are refused.
+STACKABLE = ("RRAM", "PCM")
+
+
+def characterize_stacked(
+    cell: CellTechnology,
+    capacity_bytes: int,
+    layers: int,
+    node_nm: int = 22,
+    optimization_target: OptimizationTarget = OptimizationTarget.READ_EDP,
+    access_bits: int = 64,
+    bits_per_cell: int = 1,
+) -> ArrayCharacterization:
+    """Characterize a ``layers``-high 3D array of ``cell``.
+
+    Builds on the planar characterization of the same capacity and applies
+    the stacking transformations above.  ``layers == 1`` returns the planar
+    array unchanged.
+    """
+    if layers < 1:
+        raise CharacterizationError("layers must be >= 1")
+    if layers > 8:
+        raise CharacterizationError("more than 8 monolithic layers is not modelled")
+    if layers > 1 and cell.tech_class.value not in STACKABLE:
+        raise CharacterizationError(
+            f"{cell.tech_class.value} has no demonstrated 3D stacking; "
+            f"stackable: {STACKABLE}"
+        )
+
+    planar = characterize(
+        cell, capacity_bytes, node_nm=node_nm,
+        optimization_target=optimization_target,
+        access_bits=access_bits, bits_per_cell=bits_per_cell,
+    )
+    if layers == 1:
+        return planar
+
+    # Footprint: stackable portion divides by the layer count.
+    stackable_area = planar.area * (1.0 - UNSTACKABLE_FRACTION)
+    area = planar.area * UNSTACKABLE_FRACTION + stackable_area / layers
+
+    # Global wires shrink with the footprint's linear dimension.
+    wire_scale = math.sqrt(area / planar.area)
+    extra_delay = (layers - 1) * LAYER_SELECT_DELAY
+    # Split latency into a wire-ish half and a cell-ish half; scale the
+    # wire half (a coarse, conservative decomposition).
+    read_latency = planar.read_latency * (0.5 + 0.5 * wire_scale) + extra_delay
+    write_latency = planar.write_latency * (0.5 + 0.5 * wire_scale) + extra_delay
+
+    extra_energy = (layers - 1) * LAYER_SELECT_ENERGY * access_bits
+    read_energy = planar.read_energy * (0.7 + 0.3 * wire_scale) + extra_energy
+    write_energy = planar.write_energy * (0.85 + 0.15 * wire_scale) + extra_energy
+
+    area_leak_delta = ACTIVE_AREA_LEAKAGE_PER_M2 * (planar.area - area)
+    leakage = max(0.0, planar.leakage_power - area_leak_delta)
+    sleep = SLEEP_LEAKAGE_PER_M2 * area
+
+    stacked_cell = cell.renamed(f"{cell.name}-3D{layers}")
+    return replace(
+        planar,
+        cell=stacked_cell,
+        area=area,
+        read_latency=read_latency,
+        write_latency=write_latency,
+        read_energy=read_energy,
+        write_energy=write_energy,
+        leakage_power=leakage,
+        sleep_power=sleep,
+    )
+
+
+def stacking_sweep(
+    cell: CellTechnology,
+    capacity_bytes: int,
+    max_layers: int = 8,
+    **kwargs,
+) -> list[ArrayCharacterization]:
+    """Planar plus every power-of-two layer count up to ``max_layers``."""
+    results = []
+    layer_count = 1
+    while layer_count <= max_layers:
+        results.append(
+            characterize_stacked(cell, capacity_bytes, layer_count, **kwargs)
+        )
+        layer_count *= 2
+    return results

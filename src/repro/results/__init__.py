@@ -1,0 +1,5 @@
+"""Results handling: tables, filters, export."""
+
+from repro.results.table import ResultTable
+
+__all__ = ["ResultTable"]

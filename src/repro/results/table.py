@@ -1,0 +1,186 @@
+"""A small column-oriented results table.
+
+pandas is not available offline, so the framework carries its own result
+container: a list of records with pandas-ish verbs (filter, sort, group_by,
+select, aggregate) plus CSV/markdown export.  Every study returns one of
+these; the visualization layer and benches consume them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+class ResultTable:
+    """An immutable-ish table of records (dicts with shared keys)."""
+
+    def __init__(self, records: Iterable[Mapping[str, Any]] = ()) -> None:
+        self._records: list[dict[str, Any]] = [dict(r) for r in records]
+
+    # --- basics -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> dict[str, Any]:
+        return self._records[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._records)
+
+    @property
+    def columns(self) -> list[str]:
+        """Union of keys across records, in first-seen order."""
+        seen: dict[str, None] = {}
+        for record in self._records:
+            for key in record:
+                seen.setdefault(key, None)
+        return list(seen)
+
+    def column(self, name: str, default: Any = None) -> list[Any]:
+        """All values of one column."""
+        return [r.get(name, default) for r in self._records]
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        self._records.append(dict(record))
+
+    def extend(self, records: Iterable[Mapping[str, Any]]) -> None:
+        for record in records:
+            self.append(record)
+
+    # --- verbs ---------------------------------------------------------------
+
+    def filter(self, predicate: Callable[[dict[str, Any]], bool]) -> "ResultTable":
+        return ResultTable(r for r in self._records if predicate(r))
+
+    def where(self, **equals: Any) -> "ResultTable":
+        """Filter on column equality: ``table.where(tech="STT", flavor="optimistic")``."""
+        def match(record: dict[str, Any]) -> bool:
+            return all(record.get(k) == v for k, v in equals.items())
+        return self.filter(match)
+
+    def select(self, *columns: str) -> "ResultTable":
+        return ResultTable({c: r.get(c) for c in columns} for r in self._records)
+
+    def sort_by(self, column: str, reverse: bool = False) -> "ResultTable":
+        def key(record: dict[str, Any]):
+            value = record.get(column)
+            # Sort missing values last.
+            return (value is None, value)
+        return ResultTable(sorted(self._records, key=key, reverse=reverse))
+
+    def group_by(self, *columns: str) -> dict[tuple, "ResultTable"]:
+        groups: dict[tuple, ResultTable] = {}
+        for record in self._records:
+            key = tuple(record.get(c) for c in columns)
+            groups.setdefault(key, ResultTable()).append(record)
+        return groups
+
+    def min_by(self, column: str) -> dict[str, Any]:
+        """The record minimizing ``column`` (None values excluded)."""
+        candidates = [r for r in self._records if r.get(column) is not None]
+        if not candidates:
+            raise ReproError(f"no records with column {column!r}")
+        return min(candidates, key=lambda r: r[column])
+
+    def max_by(self, column: str) -> dict[str, Any]:
+        candidates = [r for r in self._records if r.get(column) is not None]
+        if not candidates:
+            raise ReproError(f"no records with column {column!r}")
+        return max(candidates, key=lambda r: r[column])
+
+    def aggregate(
+        self, column: str, func: Callable[[Sequence[float]], float]
+    ) -> float:
+        values = [r[column] for r in self._records if r.get(column) is not None]
+        if not values:
+            raise ReproError(f"no values to aggregate in column {column!r}")
+        return func(values)
+
+    def unique(self, column: str) -> list[Any]:
+        seen: dict[Any, None] = {}
+        for record in self._records:
+            if column in record:
+                seen.setdefault(record[column], None)
+        return list(seen)
+
+    def concat(self, other: "ResultTable") -> "ResultTable":
+        return ResultTable([*self._records, *other._records])
+
+    def with_column(
+        self, name: str, func: Callable[[dict[str, Any]], Any]
+    ) -> "ResultTable":
+        """A copy with a derived column appended."""
+        out = []
+        for record in self._records:
+            new = dict(record)
+            new[name] = func(record)
+            out.append(new)
+        return ResultTable(out)
+
+    # --- export ----------------------------------------------------------------
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """Render as CSV; write to ``path`` when given."""
+        columns = self.columns
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        for record in self._records:
+            writer.writerow({c: record.get(c, "") for c in columns})
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", newline="") as handle:
+                handle.write(text)
+        return text
+
+    def to_markdown(self, float_format: str = "{:.4g}") -> str:
+        """Render as a GitHub-flavored markdown table."""
+        columns = self.columns
+        if not columns:
+            return "(empty table)"
+
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return float_format.format(value)
+            return "" if value is None else str(value)
+
+        header = "| " + " | ".join(columns) + " |"
+        rule = "|" + "|".join("---" for _ in columns) + "|"
+        rows = [
+            "| " + " | ".join(fmt(r.get(c)) for c in columns) + " |"
+            for r in self._records
+        ]
+        return "\n".join([header, rule, *rows])
+
+    @classmethod
+    def from_csv(cls, text: str) -> "ResultTable":
+        """Parse a CSV string, converting numeric-looking fields."""
+        reader = csv.DictReader(io.StringIO(text))
+        records = []
+        for row in reader:
+            parsed: dict[str, Any] = {}
+            for key, value in row.items():
+                parsed[key] = _coerce(value)
+            records.append(parsed)
+        return cls(records)
+
+
+def _coerce(value: Optional[str]) -> Any:
+    if value is None or value == "":
+        return None
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            continue
+    if value in ("True", "False"):
+        return value == "True"
+    return value

@@ -1,0 +1,79 @@
+"""Write-buffer sizing study over explicit two-level hierarchies.
+
+Extends the Figure 14 what-if into a concrete design question: an STT
+front buffer over an 8 MB eNVM store, with the write-coalescing factor
+*measured* per buffer size on a locality-parameterized write stream.
+Reports the power/latency/lifetime landscape versus buffer size for each
+backing technology.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cachesim import zipfian_stream
+from repro.cells import tentpoles_for
+from repro.cells.base import TechnologyClass
+from repro.core.hierarchy import evaluate_hierarchy
+from repro.core.writebuffer import coalescing_factor
+from repro.nvsim import characterize
+from repro.nvsim.result import OptimizationTarget
+from repro.results.table import ResultTable
+from repro.studies.arrays import ENVM_NODE_NM
+from repro.traffic.graph import facebook_bfs_traffic
+from repro.units import kb, mb
+
+BACKING_CAPACITY = mb(8)
+FRONT_SIZES_KB = (16, 64, 256)
+
+
+@lru_cache(maxsize=8)
+def measured_coalescing(front_kb: int, skew: float = 1.3, seed: int = 5) -> float:
+    """Coalescing factor of a ``front_kb`` buffer on a zipfian write stream."""
+    addresses = [
+        a for a, _ in zipfian_stream(
+            30_000, working_set_bytes=mb(2), write_fraction=1.0,
+            skew=skew, seed=seed,
+        )
+    ]
+    return coalescing_factor(addresses, buffer_lines=front_kb * 1024 // 64)
+
+
+def hierarchy_study(
+    backing_techs=(TechnologyClass.FEFET, TechnologyClass.PCM,
+                   TechnologyClass.RRAM),
+    front_sizes_kb=FRONT_SIZES_KB,
+    read_hit_rate: float = 0.3,
+) -> ResultTable:
+    """STT-front hierarchies over several backing eNVMs."""
+    traffic = facebook_bfs_traffic()
+    front_cell = tentpoles_for(TechnologyClass.STT).optimistic
+    table = ResultTable()
+    for tech in backing_techs:
+        backing = characterize(
+            tentpoles_for(tech).optimistic, BACKING_CAPACITY,
+            node_nm=ENVM_NODE_NM,
+            optimization_target=OptimizationTarget.READ_EDP,
+        )
+        for front_kb in front_sizes_kb:
+            front = characterize(
+                front_cell, kb(front_kb), node_nm=ENVM_NODE_NM,
+                optimization_target=OptimizationTarget.READ_LATENCY,
+            )
+            coalescing = measured_coalescing(front_kb)
+            combo = evaluate_hierarchy(
+                front, backing, traffic,
+                read_hit_rate=read_hit_rate,
+                write_coalescing=coalescing,
+            )
+            table.append(
+                {
+                    "backing_tech": tech.value,
+                    "front_kb": front_kb,
+                    "coalescing": coalescing,
+                    "total_power_mw": combo.total_power * 1e3,
+                    "latency_s_per_s": combo.memory_latency_per_second,
+                    "backing_lifetime_years": combo.lifetime_years,
+                }
+            )
+    return table

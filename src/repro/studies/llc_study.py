@@ -1,0 +1,50 @@
+"""The non-volatile LLC case study (Section IV-C, Figure 9).
+
+16 MB last-level-cache arrays under SPEC CPU2017 traffic: per-benchmark
+power, aggregate latency, and lifetime; candidates that cannot sustain a
+benchmark's bandwidth demand are excluded, exactly as the paper drops
+"arrays unable to meet application bandwidth".
+"""
+
+from __future__ import annotations
+
+from repro.cells import STUDY_TECHNOLOGIES, sram_cell, study_cells
+from repro.core.engine import DSEEngine, SweepSpec
+from repro.nvsim.result import OptimizationTarget
+from repro.results.table import ResultTable
+from repro.studies.arrays import ENVM_NODE_NM, SRAM_NODE_NM
+from repro.traffic.spec import spec2017_suite
+from repro.units import mb
+
+LLC_BYTES = mb(16)
+
+
+def llc_study(capacity_bytes: int = LLC_BYTES) -> ResultTable:
+    """Figure 9: SPEC2017 traffic against 16 MB LLC candidates."""
+    cells = study_cells(STUDY_TECHNOLOGIES) + [sram_cell(SRAM_NODE_NM)]
+    spec = SweepSpec(
+        cells=cells,
+        capacities_bytes=[capacity_bytes],
+        traffic=spec2017_suite(),
+        node_nm=ENVM_NODE_NM,
+        sram_node_nm=SRAM_NODE_NM,
+        optimization_targets=(OptimizationTarget.READ_EDP,),
+        access_bits=512,
+    )
+    return DSEEngine().run(spec)
+
+
+def feasible(table: ResultTable) -> ResultTable:
+    """Drop candidates that cannot meet a benchmark's bandwidth."""
+    return table.filter(lambda r: r["feasible"] and r["slowdown"] <= 1.0)
+
+
+def winner_per_benchmark(table: ResultTable, column: str = "total_power_mw") -> dict:
+    """The minimizing optimistic eNVM per SPEC benchmark."""
+    winners = {}
+    rows = feasible(table).filter(
+        lambda r: r["tech"] != "SRAM" and r.get("flavor") == "optimistic"
+    )
+    for benchmark in rows.unique("workload"):
+        winners[benchmark] = rows.where(workload=benchmark).min_by(column)["tech"]
+    return winners

@@ -1,0 +1,70 @@
+"""The write-buffering study (Section V-D, Figure 14).
+
+For SPEC2017 and the Facebook-BFS workload, evaluate every study eNVM at
+8 MB under the write-buffer scenarios (no buffer / mask latency / mask +
+reduce traffic 25% / 50%) and report which technologies become performant
+(latency) or attractive (power) as buffering improves.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cells import STUDY_TECHNOLOGIES, sram_cell, study_cells
+from repro.core.engine import evaluation_record
+from repro.core.writebuffer import DEFAULT_SCENARIOS, WriteBufferConfig, evaluate_with_buffer
+from repro.nvsim import characterize
+from repro.nvsim.result import OptimizationTarget
+from repro.results.table import ResultTable
+from repro.studies.arrays import ENVM_NODE_NM, SRAM_NODE_NM
+from repro.traffic.base import TrafficPattern
+from repro.traffic.graph import facebook_bfs_traffic
+from repro.traffic.spec import benchmark_by_name, spec_traffic
+from repro.units import mb
+
+STUDY_CAPACITY = mb(8)
+
+
+def writebuffer_study(
+    workloads: Sequence[TrafficPattern] = (),
+    scenarios: Sequence[WriteBufferConfig] = DEFAULT_SCENARIOS,
+) -> ResultTable:
+    """Figure 14: eNVM power/latency across write-buffer scenarios."""
+    if not workloads:
+        workloads = (
+            facebook_bfs_traffic(),
+            spec_traffic(benchmark_by_name("605.mcf_s")),
+            spec_traffic(benchmark_by_name("619.lbm_s")),
+        )
+    table = ResultTable()
+    cells = study_cells(STUDY_TECHNOLOGIES, include_reference=False)
+    for cell in cells + [sram_cell(SRAM_NODE_NM)]:
+        node = ENVM_NODE_NM if cell.tech_class.is_nonvolatile else SRAM_NODE_NM
+        array = characterize(
+            cell, STUDY_CAPACITY, node_nm=node,
+            optimization_target=OptimizationTarget.READ_EDP,
+            access_bits=64,
+        )
+        for traffic in workloads:
+            for config in scenarios:
+                ev = evaluate_with_buffer(array, traffic, config)
+                row = evaluation_record(ev)
+                row["scenario"] = config.label
+                row["base_workload"] = traffic.name
+                table.append(row)
+    return table
+
+
+def performant_technologies(
+    table: ResultTable,
+    workload_name: str,
+    scenario_label: str,
+    latency_budget: float = 1.0,
+) -> set[str]:
+    """Technologies meeting the latency budget under one scenario."""
+    rows = table.where(base_workload=workload_name, scenario=scenario_label)
+    return {
+        r["tech"]
+        for r in rows
+        if r["memory_latency_s_per_s"] <= latency_budget and r["feasible"]
+    }

@@ -1,0 +1,88 @@
+"""Gate and interconnect delay models.
+
+Implements the standard building blocks NVSim/CACTI use to turn an array
+organization into timing numbers:
+
+* :func:`horowitz` — Horowitz's approximation for the delay of a gate driving
+  an RC load with a non-zero input transition time.
+* :func:`rc_wire_delay` — Elmore delay of a distributed RC wire.
+* :func:`rc_charge_time` — time for an RC node to swing a given fraction of
+  the supply, used for bitline discharge through a cell.
+* :func:`buffer_chain_delay` — delay and energy of an optimally-sized
+  inverter chain driving a large capacitive load (wordline drivers, output
+  drivers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.tech.node import TechnologyNode
+
+#: Threshold-crossing ratio for Horowitz (input swing considered "switched").
+_VS = 0.5
+#: ln(2) — RC time constants to swing half the rail.
+_LN2 = math.log(2.0)
+
+
+def horowitz(input_ramp: float, time_constant: float) -> float:
+    """Delay of a gate with output time constant ``time_constant`` (seconds)
+    driven by an input with 10-90% ramp ``input_ramp`` (seconds).
+
+    This is the same approximation CACTI and NVSim use; for a step input it
+    reduces to ``time_constant * ln(2)``.
+    """
+    if time_constant < 0 or input_ramp < 0:
+        raise ValueError("horowitz arguments must be non-negative")
+    if time_constant == 0:
+        return 0.0
+    a = input_ramp / time_constant
+    return time_constant * math.sqrt((_LN2 * _LN2) + 2 * a * (1 - _VS) * _LN2)
+
+
+def rc_wire_delay(resistance: float, capacitance: float) -> float:
+    """Elmore delay of a distributed RC line (0.38 RC), in seconds."""
+    return 0.38 * resistance * capacitance
+
+
+def rc_charge_time(resistance: float, capacitance: float, swing_fraction: float = 0.5) -> float:
+    """Time for an RC node to swing ``swing_fraction`` of the rail, seconds.
+
+    Used for bitline discharge through a memory cell: the cell's effective
+    resistance drives the bitline capacitance until the sense amplifier can
+    resolve the swing.
+    """
+    if not 0.0 < swing_fraction < 1.0:
+        raise ValueError("swing_fraction must be in (0, 1)")
+    return resistance * capacitance * math.log(1.0 / (1.0 - swing_fraction))
+
+
+@dataclass(frozen=True)
+class DriveResult:
+    """Delay and switching energy of a driver stage or chain."""
+
+    delay: float
+    energy: float
+
+
+def buffer_chain_delay(node: TechnologyNode, load_cap: float) -> DriveResult:
+    """Delay/energy of an inverter chain driving ``load_cap`` farads.
+
+    Sizes the chain with fanout-of-4 stages starting from a minimum inverter;
+    delay is ``n_stages * fo4`` and energy is the total switched capacitance
+    at vdd (load plus intermediate stages, approximated by a geometric
+    series with ratio 1/4 of the load).
+    """
+    if load_cap < 0:
+        raise ValueError("load_cap must be non-negative")
+    c_min = node.min_transistor_gate_cap
+    if load_cap <= c_min or c_min <= 0:
+        return DriveResult(delay=node.logic_gate_delay, energy=load_cap * node.vdd**2)
+    n_stages = max(1, math.ceil(math.log(load_cap / c_min, 4.0)))
+    # Intermediate stage caps form a geometric series summing to ~load/3.
+    switched_cap = load_cap * (1.0 + 1.0 / 3.0)
+    return DriveResult(
+        delay=n_stages * node.logic_gate_delay,
+        energy=switched_cap * node.vdd**2,
+    )

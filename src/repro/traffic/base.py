@@ -1,0 +1,138 @@
+"""Memory traffic patterns: the application-level input to the framework.
+
+A :class:`TrafficPattern` is what Section II-A calls "information about
+memory traffic": read/write access rates against one memory structure, the
+access granularity, and optionally per-task totals for energy-per-task
+accounting (DNN inference, graph kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional
+
+from repro.errors import TrafficError
+from repro.units import BITS_PER_BYTE
+
+
+@dataclass(frozen=True)
+class TrafficPattern:
+    """Memory traffic against one memory structure.
+
+    Attributes
+    ----------
+    name:
+        Workload label ("resnet26-single-task", "bfs-facebook", "605.mcf_s").
+    reads_per_second / writes_per_second:
+        Sustained access rates, accesses per second.
+    access_bytes:
+        Bytes moved per access (8 for a word, 64 for a cache line).
+    reads_per_task / writes_per_task:
+        Accesses needed to complete one unit of work (one inference, one
+        kernel run).  ``None`` when the workload has no task notion.
+    duration:
+        Length of the characterized execution window, seconds (used to
+        convert per-execution totals to rates; informational afterwards).
+    metadata:
+        Free-form tags the studies use for grouping (e.g. ``{"suite":
+        "SPECint"}``).
+    """
+
+    name: str
+    reads_per_second: float
+    writes_per_second: float
+    access_bytes: int = 8
+    reads_per_task: Optional[float] = None
+    writes_per_task: Optional[float] = None
+    duration: Optional[float] = None
+    metadata: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.reads_per_second < 0 or self.writes_per_second < 0:
+            raise TrafficError(f"{self.name}: access rates must be non-negative")
+        if self.access_bytes <= 0:
+            raise TrafficError(f"{self.name}: access_bytes must be positive")
+        if self.duration is not None and self.duration <= 0:
+            raise TrafficError(f"{self.name}: duration must be positive")
+        for attr in ("reads_per_task", "writes_per_task"):
+            value = getattr(self, attr)
+            if value is not None and value < 0:
+                raise TrafficError(f"{self.name}: {attr} must be non-negative")
+
+    # --- derived ----------------------------------------------------------
+
+    @property
+    def total_accesses_per_second(self) -> float:
+        return self.reads_per_second + self.writes_per_second
+
+    @property
+    def read_bandwidth(self) -> float:
+        """Demanded read bandwidth, bytes/second."""
+        return self.reads_per_second * self.access_bytes
+
+    @property
+    def write_bandwidth(self) -> float:
+        """Demanded write bandwidth, bytes/second."""
+        return self.writes_per_second * self.access_bytes
+
+    @property
+    def write_bits_per_second(self) -> float:
+        return self.write_bandwidth * BITS_PER_BYTE
+
+    @property
+    def read_fraction(self) -> float:
+        """Reads as a fraction of all accesses (1.0 for read-only)."""
+        total = self.total_accesses_per_second
+        if total == 0:
+            return 0.0
+        return self.reads_per_second / total
+
+    # --- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_totals(
+        cls,
+        name: str,
+        total_reads: float,
+        total_writes: float,
+        duration: float,
+        access_bytes: int = 8,
+        **kwargs,
+    ) -> "TrafficPattern":
+        """Build a pattern from per-execution totals and execution time."""
+        if duration <= 0:
+            raise TrafficError(f"{name}: duration must be positive")
+        return cls(
+            name=name,
+            reads_per_second=total_reads / duration,
+            writes_per_second=total_writes / duration,
+            access_bytes=access_bytes,
+            duration=duration,
+            **kwargs,
+        )
+
+    # --- transformations ---------------------------------------------------
+
+    def scaled(self, read_factor: float = 1.0, write_factor: float = 1.0) -> "TrafficPattern":
+        """A copy with rates (and per-task totals) scaled."""
+        return replace(
+            self,
+            reads_per_second=self.reads_per_second * read_factor,
+            writes_per_second=self.writes_per_second * write_factor,
+            reads_per_task=(
+                None if self.reads_per_task is None else self.reads_per_task * read_factor
+            ),
+            writes_per_task=(
+                None
+                if self.writes_per_task is None
+                else self.writes_per_task * write_factor
+            ),
+        )
+
+    def renamed(self, name: str) -> "TrafficPattern":
+        return replace(self, name=name)
+
+    def with_metadata(self, **tags: str) -> "TrafficPattern":
+        merged = dict(self.metadata)
+        merged.update(tags)
+        return replace(self, metadata=merged)

@@ -1,0 +1,299 @@
+"""DNN workload descriptors and the NVDLA-style buffer performance model.
+
+The DNN case study (Section IV-A) extracts on-chip buffer traffic for a
+ResNet-class image network and an ALBERT-class NLP network, deployed either
+*continuously* (60 frames per second of streaming video) or *intermittently*
+(the accelerator powers off between inferences and eNVM retains the
+weights).
+
+The paper uses the NVDLA performance model for traffic extraction; here
+:class:`NVDLAPerformanceModel` is an analytical equivalent: per frame, the
+on-chip buffer serves each live weight a ``weight_reuse``-times (tiling
+re-reads) and, when activations are buffered on-chip too, one write and one
+read per activation byte.  ALBERT re-reads its layer-shared parameters once
+per transformer layer, which is what makes its per-inference access count —
+and hence its energy slope in Figure 7 — much larger than ResNet's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import TrafficError
+from repro.traffic.base import TrafficPattern
+from repro.units import mb
+
+#: Buffer access granularity of the accelerator datapath (one 64 B block).
+ACCELERATOR_ACCESS_BYTES = 64
+
+#: Frame rate for the continuous (streaming HD video) use case.
+CONTINUOUS_FPS = 60.0
+
+
+@dataclass(frozen=True)
+class DNNWorkload:
+    """One network's storage and compute footprint.
+
+    ``weight_bytes`` assumes 8-bit weights (the storage studies sweep the
+    encoding separately); ``weight_reuse`` is how many times each buffered
+    weight byte is re-read per inference by the tiled dataflow.
+    """
+
+    name: str
+    weight_bytes: int
+    activation_bytes: int
+    macs_per_inference: float
+    weight_reuse: float
+    #: Rough single-inference latency on the accelerator, seconds (used for
+    #: the active-window energy of intermittent operation).
+    inference_seconds: float
+    task: str = "image-classification"
+
+    def __post_init__(self) -> None:
+        if self.weight_bytes <= 0 or self.activation_bytes < 0:
+            raise TrafficError(f"{self.name}: invalid footprint")
+        if self.weight_reuse < 1.0:
+            raise TrafficError(f"{self.name}: weight reuse must be >= 1")
+        if self.inference_seconds <= 0:
+            raise TrafficError(f"{self.name}: inference time must be positive")
+
+    def combined_with(self, *others: "DNNWorkload", name: str) -> "DNNWorkload":
+        """A multi-task workload running this network plus ``others``."""
+        nets = (self, *others)
+        return DNNWorkload(
+            name=name,
+            weight_bytes=sum(n.weight_bytes for n in nets),
+            activation_bytes=sum(n.activation_bytes for n in nets),
+            macs_per_inference=sum(n.macs_per_inference for n in nets),
+            weight_reuse=max(n.weight_reuse for n in nets),
+            inference_seconds=sum(n.inference_seconds for n in nets),
+            task="multi-task",
+        )
+
+
+# --- the paper's workloads -------------------------------------------------
+
+# The edge-quantized ResNet26 of the NVDLA study: 8-bit weights sized to the
+# accelerator's 2 MB convolution buffer.
+RESNET26 = DNNWorkload(
+    name="resnet26",
+    weight_bytes=mb(2),
+    activation_bytes=mb(1),
+    macs_per_inference=2.6e9,
+    weight_reuse=3.0,
+    inference_seconds=8e-3,
+)
+
+RESNET18 = DNNWorkload(
+    name="resnet18",
+    weight_bytes=mb(11.5),
+    activation_bytes=mb(2.0),
+    macs_per_inference=1.8e9,
+    weight_reuse=3.0,
+    inference_seconds=7e-3,
+)
+
+OBJECT_DETECTION = DNNWorkload(
+    name="object-detection",
+    weight_bytes=mb(8),
+    activation_bytes=mb(4),
+    macs_per_inference=4.0e9,
+    weight_reuse=3.0,
+    inference_seconds=12e-3,
+    task="object-detection",
+)
+
+TRACKING = DNNWorkload(
+    name="tracking",
+    weight_bytes=mb(4),
+    activation_bytes=mb(2),
+    macs_per_inference=1.2e9,
+    weight_reuse=3.0,
+    inference_seconds=5e-3,
+    task="tracking",
+)
+
+#: Multi-task image processing: detection + tracking + classification.
+MULTI_TASK_IMAGE = RESNET26.combined_with(
+    OBJECT_DETECTION, TRACKING, name="multi-task-image"
+)
+
+#: ALBERT shares one transformer block's parameters across all 12 layers,
+#: so each inference re-reads the shared weights ~12x: a small footprint
+#: with a very large per-inference access count.
+ALBERT = DNNWorkload(
+    name="albert",
+    weight_bytes=mb(24),
+    activation_bytes=mb(3),
+    macs_per_inference=22e9,
+    weight_reuse=12.0,
+    inference_seconds=40e-3,
+    task="nlp",
+)
+
+#: ALBERT with only its (uncompressed) token embeddings held on-chip.
+ALBERT_EMBEDDINGS = DNNWorkload(
+    name="albert-embeddings",
+    weight_bytes=mb(8),
+    activation_bytes=mb(1),
+    macs_per_inference=2e9,
+    weight_reuse=1.0,
+    inference_seconds=40e-3,
+    task="nlp",
+)
+
+MULTI_TASK_NLP = ALBERT.combined_with(
+    DNNWorkload(
+        name="nlp-aux",
+        weight_bytes=mb(8),
+        activation_bytes=mb(1),
+        macs_per_inference=6e9,
+        weight_reuse=12.0,
+        inference_seconds=15e-3,
+        task="nlp",
+    ),
+    name="multi-task-nlp",
+)
+
+DNN_WORKLOADS: dict[str, DNNWorkload] = {
+    w.name: w
+    for w in (
+        RESNET26,
+        RESNET18,
+        OBJECT_DETECTION,
+        TRACKING,
+        MULTI_TASK_IMAGE,
+        ALBERT,
+        ALBERT_EMBEDDINGS,
+        MULTI_TASK_NLP,
+    )
+}
+
+
+class NVDLAPerformanceModel:
+    """Analytical buffer-traffic model for an NVDLA-style accelerator.
+
+    Parameters
+    ----------
+    buffer_bytes:
+        On-chip buffer capacity backing the traffic (the memory under
+        study).
+    access_bytes:
+        Buffer access granularity.
+    """
+
+    def __init__(
+        self,
+        buffer_bytes: int,
+        access_bytes: int = ACCELERATOR_ACCESS_BYTES,
+    ) -> None:
+        if buffer_bytes <= 0:
+            raise TrafficError("buffer capacity must be positive")
+        self.buffer_bytes = int(buffer_bytes)
+        self.access_bytes = int(access_bytes)
+
+    # --- continuous operation ------------------------------------------------
+
+    def continuous_traffic(
+        self,
+        workload: DNNWorkload,
+        fps: float = CONTINUOUS_FPS,
+        store_activations: bool = False,
+    ) -> TrafficPattern:
+        """Buffer traffic for streaming inference at ``fps`` frames/second.
+
+        Weights resident in the buffer are re-read ``weight_reuse`` times
+        per frame (weights beyond the buffer capacity stream through it and
+        are counted once — plus the writes that stream them in).  With
+        ``store_activations`` the intermediate feature maps are written to
+        and read back from the same buffer.
+        """
+        if fps <= 0:
+            raise TrafficError("fps must be positive")
+        resident = min(workload.weight_bytes, self.buffer_bytes)
+        streamed = max(0, workload.weight_bytes - resident)
+        weight_read_bytes = resident * workload.weight_reuse + streamed
+        weight_write_bytes = float(streamed)  # streamed tiles refill the buffer
+
+        act_read_bytes = act_write_bytes = 0.0
+        if store_activations:
+            act_read_bytes = float(workload.activation_bytes)
+            act_write_bytes = float(workload.activation_bytes)
+
+        reads_per_frame = (weight_read_bytes + act_read_bytes) / self.access_bytes
+        writes_per_frame = (weight_write_bytes + act_write_bytes) / self.access_bytes
+        suffix = "weights+acts" if store_activations else "weights"
+        return TrafficPattern(
+            name=f"{workload.name}-{suffix}-{fps:g}fps",
+            reads_per_second=reads_per_frame * fps,
+            writes_per_second=writes_per_frame * fps,
+            access_bytes=self.access_bytes,
+            reads_per_task=reads_per_frame,
+            writes_per_task=writes_per_frame,
+            metadata={
+                "workload": workload.name,
+                "use_case": "continuous",
+                "storage": suffix,
+                "task": workload.task,
+            },
+        )
+
+    # --- intermittent operation ----------------------------------------------
+
+    def intermittent_traffic(
+        self,
+        workload: DNNWorkload,
+        inferences_per_second: float = 1.0,
+    ) -> TrafficPattern:
+        """Traffic for wake-on-demand inference with weights held on-chip.
+
+        All weight reads per inference hit the (monolithic, non-volatile)
+        buffer; nothing is written in steady state.
+        """
+        if inferences_per_second <= 0:
+            raise TrafficError("inference rate must be positive")
+        reads_per_inf = (
+            workload.weight_bytes * workload.weight_reuse / self.access_bytes
+        )
+        return TrafficPattern(
+            name=f"{workload.name}-intermittent-{inferences_per_second:g}ips",
+            reads_per_second=reads_per_inf * inferences_per_second,
+            writes_per_second=0.0,
+            access_bytes=self.access_bytes,
+            reads_per_task=reads_per_inf,
+            writes_per_task=0.0,
+            metadata={
+                "workload": workload.name,
+                "use_case": "intermittent",
+                "storage": "weights",
+                "task": workload.task,
+            },
+        )
+
+
+#: Access scale factor of multi-task image processing over single-task.
+MULTI_TASK_SCALE = 3.2
+
+
+def continuous_scenarios(buffer_bytes: int = mb(2)) -> list[TrafficPattern]:
+    """The four Figure 6 (left) traffic scenarios against a 2 MB buffer.
+
+    Multi-task processing multiplies the per-frame access count while — as
+    the paper observes — "the ratio of read-to-write traffic stays roughly
+    the same", so the multi-task scenarios are rate-scaled versions of the
+    single-task patterns rather than weight-streaming ones.
+    """
+    model = NVDLAPerformanceModel(buffer_bytes)
+    scenarios = []
+    for store_acts in (False, True):
+        single = model.continuous_traffic(RESNET26, store_activations=store_acts)
+        scenarios.append(single)
+        multi = single.scaled(MULTI_TASK_SCALE, MULTI_TASK_SCALE)
+        suffix = "weights+acts" if store_acts else "weights"
+        scenarios.append(
+            multi.renamed(f"multi-task-image-{suffix}-60fps").with_metadata(
+                workload="multi-task-image", task="multi-task"
+            )
+        )
+    return scenarios

@@ -1,0 +1,95 @@
+"""Unit constants and conversion helpers.
+
+All internal computation in this package uses base SI units: seconds, joules,
+watts, meters, bytes (capacity) and bits (cell-level).  These helpers exist so
+code reads like the paper ("10 ns write pulse", "4 MB array") while staying
+unambiguous at the call site.
+"""
+
+from __future__ import annotations
+
+# --- time ---
+SECOND = 1.0
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+NANOSECOND = 1e-9
+PICOSECOND = 1e-12
+
+# --- energy ---
+JOULE = 1.0
+MILLIJOULE = 1e-3
+MICROJOULE = 1e-6
+NANOJOULE = 1e-9
+PICOJOULE = 1e-12
+FEMTOJOULE = 1e-15
+
+# --- power ---
+WATT = 1.0
+MILLIWATT = 1e-3
+MICROWATT = 1e-6
+NANOWATT = 1e-9
+
+# --- length ---
+METER = 1.0
+MILLIMETER = 1e-3
+MICROMETER = 1e-6
+NANOMETER = 1e-9
+
+# --- capacitance / resistance / current / voltage ---
+FARAD = 1.0
+PICOFARAD = 1e-12
+FEMTOFARAD = 1e-15
+OHM = 1.0
+KILOOHM = 1e3
+MEGAOHM = 1e6
+AMPERE = 1.0
+MILLIAMPERE = 1e-3
+MICROAMPERE = 1e-6
+NANOAMPERE = 1e-9
+VOLT = 1.0
+
+# --- capacity ---
+BYTE = 1
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+BITS_PER_BYTE = 8
+
+SECONDS_PER_DAY = 86_400.0
+SECONDS_PER_YEAR = 365.25 * SECONDS_PER_DAY
+
+
+def mb(n: float) -> int:
+    """Capacity of *n* mebibytes, in bytes."""
+    return int(n * MB)
+
+
+def kb(n: float) -> int:
+    """Capacity of *n* kibibytes, in bytes."""
+    return int(n * KB)
+
+
+def to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds (for reporting)."""
+    return seconds / NANOSECOND
+
+
+def to_pj(joules: float) -> float:
+    """Convert joules to picojoules (for reporting)."""
+    return joules / PICOJOULE
+
+
+def to_mw(watts: float) -> float:
+    """Convert watts to milliwatts (for reporting)."""
+    return watts / MILLIWATT
+
+
+def to_mm2(square_meters: float) -> float:
+    """Convert m^2 to mm^2 (for reporting)."""
+    return square_meters / (MILLIMETER * MILLIMETER)
+
+
+def years(seconds: float) -> float:
+    """Convert seconds to years (for lifetime reporting)."""
+    return seconds / SECONDS_PER_YEAR

@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cells import (
+    TechnologyClass,
+    reference_rram,
+    sram_cell,
+    tentpoles_for,
+)
+from repro.nvsim import OptimizationTarget, characterize
+from repro.traffic import TrafficPattern
+from repro.units import mb
+
+
+@pytest.fixture(scope="session")
+def stt_optimistic():
+    return tentpoles_for(TechnologyClass.STT).optimistic
+
+
+@pytest.fixture(scope="session")
+def stt_pessimistic():
+    return tentpoles_for(TechnologyClass.STT).pessimistic
+
+
+@pytest.fixture(scope="session")
+def rram_optimistic():
+    return tentpoles_for(TechnologyClass.RRAM).optimistic
+
+
+@pytest.fixture(scope="session")
+def fefet_optimistic():
+    return tentpoles_for(TechnologyClass.FEFET).optimistic
+
+
+@pytest.fixture(scope="session")
+def pcm_optimistic():
+    return tentpoles_for(TechnologyClass.PCM).optimistic
+
+
+@pytest.fixture(scope="session")
+def sram16():
+    return sram_cell(16)
+
+
+@pytest.fixture(scope="session")
+def rram_ref():
+    return reference_rram()
+
+
+@pytest.fixture(scope="session")
+def stt_array_1mb(stt_optimistic):
+    """A small characterized array most system-level tests can share."""
+    return characterize(
+        stt_optimistic, mb(1), node_nm=22,
+        optimization_target=OptimizationTarget.READ_EDP,
+    )
+
+
+@pytest.fixture(scope="session")
+def sram_array_1mb(sram16):
+    return characterize(
+        sram16, mb(1), node_nm=16,
+        optimization_target=OptimizationTarget.READ_EDP,
+    )
+
+
+@pytest.fixture()
+def simple_traffic():
+    return TrafficPattern(
+        name="unit-test-traffic",
+        reads_per_second=1e7,
+        writes_per_second=1e5,
+        access_bytes=8,
+    )

@@ -1,0 +1,159 @@
+"""Cache simulator and address stream tests."""
+
+import pytest
+
+from repro.cachesim import (
+    Cache,
+    CacheConfig,
+    WorkloadModel,
+    sequential_stream,
+    simulate_llc_traffic,
+    strided_stream,
+    synthetic_llc_suite,
+    zipfian_stream,
+)
+from repro.errors import ConfigError
+from repro.units import kb, mb
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        config = CacheConfig(capacity_bytes=kb(64), line_bytes=64, associativity=4)
+        assert config.n_lines == 1024
+        assert config.n_sets == 256
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(capacity_bytes=1000, line_bytes=64)  # not a multiple
+        with pytest.raises(ConfigError):
+            CacheConfig(capacity_bytes=0)
+        with pytest.raises(ConfigError):
+            CacheConfig(capacity_bytes=kb(1), line_bytes=64, associativity=32)
+
+
+class TestCacheBehaviour:
+    def _tiny(self) -> Cache:
+        return Cache(CacheConfig(capacity_bytes=4 * 64, line_bytes=64, associativity=2))
+
+    def test_cold_miss_then_hit(self):
+        cache = self._tiny()
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.stats.read_misses == 1
+        assert cache.stats.read_hits == 1
+
+    def test_same_line_offsets_hit(self):
+        cache = self._tiny()
+        cache.access(0)
+        assert cache.access(63) is True  # same 64 B line
+        assert cache.access(64) is False  # next line
+
+    def test_lru_eviction(self):
+        cache = self._tiny()  # 2 sets x 2 ways
+        set_stride = 2 * 64  # addresses mapping to set 0
+        cache.access(0 * set_stride)
+        cache.access(1 * set_stride)
+        cache.access(2 * set_stride)  # evicts line 0 (LRU)
+        assert cache.access(0 * set_stride) is False
+        assert cache.stats.evictions >= 1
+
+    def test_lru_refresh_on_hit(self):
+        cache = self._tiny()
+        s = 2 * 64
+        cache.access(0 * s)
+        cache.access(1 * s)
+        cache.access(0 * s)  # refresh 0 -> 1 becomes LRU
+        cache.access(2 * s)  # should evict 1, not 0
+        assert cache.access(0 * s) is True
+
+    def test_writeback_counts_dirty_evictions(self):
+        cache = self._tiny()
+        s = 2 * 64
+        cache.access(0 * s, is_write=True)
+        cache.access(1 * s)
+        cache.access(2 * s)  # evicts dirty line 0
+        assert cache.stats.dirty_evictions == 1
+
+    def test_clean_eviction_not_counted_dirty(self):
+        cache = self._tiny()
+        s = 2 * 64
+        cache.access(0 * s)
+        cache.access(1 * s)
+        cache.access(2 * s)
+        assert cache.stats.dirty_evictions == 0
+        assert cache.stats.evictions == 1
+
+    def test_dirty_lines_resident(self):
+        cache = self._tiny()
+        cache.access(0, is_write=True)
+        cache.access(64, is_write=True)
+        assert cache.dirty_lines() == 2
+
+    def test_run_replays_stream(self):
+        cache = self._tiny()
+        stats = cache.run([(0, False), (0, True), (64, False)])
+        assert stats.accesses == 3
+        assert stats.hits == 1
+
+    def test_miss_rate(self):
+        cache = self._tiny()
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+
+class TestStreams:
+    def test_sequential_addresses(self):
+        addrs = [a for a, _ in sequential_stream(5, stride_bytes=64)]
+        assert addrs == [0, 64, 128, 192, 256]
+
+    def test_strided_wraps(self):
+        addrs = [a for a, _ in strided_stream(4, 64, working_set_bytes=128)]
+        assert addrs == [0, 64, 0, 64]
+
+    def test_zipfian_respects_working_set(self):
+        addrs = [a for a, _ in zipfian_stream(500, working_set_bytes=kb(4))]
+        assert all(0 <= a < kb(4) for a in addrs)
+
+    def test_write_fraction_approximate(self):
+        writes = sum(1 for _, w in zipfian_stream(5000, kb(64), write_fraction=0.3) if w)
+        assert 0.2 < writes / 5000 < 0.4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            list(zipfian_stream(10, kb(4), skew=1.0))
+        with pytest.raises(ConfigError):
+            list(sequential_stream(10, write_fraction=1.5))
+
+    def test_workload_model_mixes_deterministically(self):
+        model = WorkloadModel("m", working_set_bytes=kb(64), write_fraction=0.2)
+        a = list(model.stream(1000, seed=5))
+        b = list(model.stream(1000, seed=5))
+        assert a == b
+        assert len(a) == 1000
+
+
+class TestLLCDerivation:
+    def test_cache_friendly_workload_misses_less(self):
+        friendly = WorkloadModel("friendly", working_set_bytes=kb(256),
+                                 write_fraction=0.2, locality_skew=2.0,
+                                 streaming_fraction=0.0)
+        hostile = WorkloadModel("hostile", working_set_bytes=mb(64),
+                                write_fraction=0.2, locality_skew=1.05,
+                                streaming_fraction=0.6)
+        t_friendly = simulate_llc_traffic(friendly, n_accesses=20_000)
+        t_hostile = simulate_llc_traffic(hostile, n_accesses=20_000)
+        assert t_hostile.read_mpki > t_friendly.read_mpki
+
+    def test_trace_to_traffic(self):
+        model = WorkloadModel("m", working_set_bytes=mb(4), write_fraction=0.25)
+        trace = simulate_llc_traffic(model, n_accesses=10_000)
+        traffic = trace.traffic()
+        assert traffic.access_bytes == 64
+        assert traffic.reads_per_second >= 0
+
+    def test_synthetic_suite_spans_behaviour(self):
+        suite = synthetic_llc_suite(n_accesses=15_000)
+        assert len(suite) == 4
+        rates = sorted(p.reads_per_second for p in suite)
+        assert rates[-1] > 3 * rates[0]

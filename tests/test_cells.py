@@ -1,0 +1,272 @@
+"""Cell model, survey database, tentpole, and preset tests."""
+
+import math
+
+import pytest
+
+from repro.cells import (
+    ENVELOPES,
+    PUBLICATION_COUNTS,
+    STUDY_TECHNOLOGIES,
+    VALIDATED_TECHNOLOGIES,
+    AccessDevice,
+    CellTechnology,
+    TechnologyClass,
+    all_entries,
+    back_gated_fefet,
+    build_tentpole_cell,
+    edram_cell,
+    envelope_for,
+    parameter_ranges,
+    publication_counts,
+    reference_rram,
+    sram_cell,
+    study_cells,
+    survey_entries,
+    tentpoles_for,
+    total_publications,
+)
+from repro.errors import CellDefinitionError, UnknownTechnologyError
+
+
+class TestTechnologyClass:
+    def test_from_string_aliases(self):
+        assert TechnologyClass.from_string("stt") is TechnologyClass.STT
+        assert TechnologyClass.from_string("STT-RAM") is TechnologyClass.STT
+        assert TechnologyClass.from_string("ReRAM") is TechnologyClass.RRAM
+        assert TechnologyClass.from_string("fefet") is TechnologyClass.FEFET
+        assert TechnologyClass.from_string("eDRAM") is TechnologyClass.EDRAM
+
+    def test_from_string_unknown(self):
+        with pytest.raises(CellDefinitionError):
+            TechnologyClass.from_string("flux-capacitor")
+
+    def test_nonvolatility(self):
+        assert TechnologyClass.STT.is_nonvolatile
+        assert TechnologyClass.FEFET.is_nonvolatile
+        assert not TechnologyClass.SRAM.is_nonvolatile
+        assert not TechnologyClass.EDRAM.is_nonvolatile
+
+
+class TestCellTechnology:
+    def test_rejects_nonpositive_area(self):
+        with pytest.raises(CellDefinitionError):
+            CellTechnology(name="bad", tech_class=TechnologyClass.STT, area_f2=0)
+
+    def test_rejects_inverted_resistance_states(self):
+        with pytest.raises(CellDefinitionError):
+            CellTechnology(
+                name="bad", tech_class=TechnologyClass.RRAM,
+                area_f2=10, r_on=1e6, r_off=1e3,
+            )
+
+    def test_rejects_nonpositive_pulse(self):
+        with pytest.raises(CellDefinitionError):
+            CellTechnology(
+                name="bad", tech_class=TechnologyClass.RRAM,
+                area_f2=10, set_pulse=0.0,
+            )
+
+    def test_write_energy_is_viT(self, stt_optimistic):
+        cell = stt_optimistic
+        expected = 0.5 * (
+            cell.write_voltage * cell.set_current * cell.set_pulse
+            + cell.write_voltage * cell.reset_current * cell.reset_pulse
+        )
+        assert cell.write_energy_per_bit == pytest.approx(expected)
+
+    def test_cell_dimensions_respect_area_and_aspect(self):
+        cell = CellTechnology(
+            name="ar2", tech_class=TechnologyClass.RRAM, area_f2=8, aspect_ratio=2.0
+        )
+        w, h = cell.cell_dimensions(22e-9)
+        assert w * h == pytest.approx(cell.cell_area(22e-9))
+        assert w / h == pytest.approx(2.0)
+
+    def test_density_accounts_for_mlc(self, rram_optimistic):
+        slc = rram_optimistic.density_bits_per_f2(1)
+        mlc = rram_optimistic.density_bits_per_f2(2)
+        assert mlc == pytest.approx(2 * slc)
+
+    def test_density_rejects_excess_bits(self, sram16):
+        with pytest.raises(CellDefinitionError):
+            sram16.density_bits_per_f2(2)
+
+    def test_mlc_flag_clamps_bits(self):
+        cell = CellTechnology(
+            name="slc-only", tech_class=TechnologyClass.STT, area_f2=20,
+            mlc_capable=False, max_bits_per_cell=3,
+        )
+        assert cell.max_bits_per_cell == 1
+
+    def test_renamed_preserves_everything_else(self, stt_optimistic):
+        other = stt_optimistic.renamed("copy")
+        assert other.name == "copy"
+        assert other.area_f2 == stt_optimistic.area_f2
+        assert other.tech_class == stt_optimistic.tech_class
+
+
+class TestSurveyDatabase:
+    def test_total_matches_the_paper(self):
+        assert total_publications() == 122
+
+    def test_counts_match_declared_table(self):
+        assert publication_counts() == {
+            tech: dict(per_year) for tech, per_year in PUBLICATION_COUNTS.items()
+        }
+
+    def test_rram_and_stt_dominate(self):
+        counts = publication_counts()
+        totals = {t: sum(per.values()) for t, per in counts.items()}
+        ranked = sorted(totals, key=totals.get, reverse=True)
+        assert ranked[0] is TechnologyClass.RRAM
+        assert ranked[1] is TechnologyClass.STT
+
+    def test_ferroelectric_interest_grows(self):
+        fefet = publication_counts()[TechnologyClass.FEFET]
+        assert fefet[2020] > fefet[2016]
+
+    def test_database_is_deterministic(self):
+        assert all_entries() is all_entries()
+        names = [e.name for e in all_entries()]
+        assert len(names) == len(set(names)), "entry names must be unique"
+
+    def test_filtering_by_tech_year_venue(self):
+        stt_2018 = survey_entries(tech=TechnologyClass.STT, years=[2018])
+        assert stt_2018
+        assert all(e.tech_class is TechnologyClass.STT and e.year == 2018 for e in stt_2018)
+        isscc = survey_entries(venues=["isscc"])
+        assert isscc and all(e.venue == "ISSCC" for e in isscc)
+
+    def test_parameter_ranges_cover_curated_extremes(self):
+        ranges = parameter_ranges(TechnologyClass.FEFET)
+        area = ranges["area_f2"]
+        assert area.minimum == pytest.approx(2.0)
+        assert area.maximum == pytest.approx(103.0)
+
+    def test_ranges_have_counts(self):
+        for tech in VALIDATED_TECHNOLOGIES:
+            ranges = parameter_ranges(tech)
+            assert ranges["area_f2"].n_reported > 0
+
+    def test_some_parameters_unreported(self):
+        """Grey cells: at least one entry leaves secondary fields blank."""
+        entries = all_entries()
+        assert any(e.read_energy_pj is None for e in entries)
+        assert any(e.endurance_cycles is None for e in entries)
+
+
+class TestEnvelopes:
+    def test_all_validated_techs_have_envelopes(self):
+        for tech in VALIDATED_TECHNOLOGIES:
+            assert envelope_for(tech) is ENVELOPES[tech]
+
+    def test_sram_has_no_envelope(self):
+        with pytest.raises(UnknownTechnologyError):
+            envelope_for(TechnologyClass.SRAM)
+
+    def test_optimistic_is_better_for_speed_params(self):
+        for tech, env in ENVELOPES.items():
+            assert env.optimistic("set_pulse") <= env.pessimistic("set_pulse"), tech
+            assert env.optimistic("read_pulse") <= env.pessimistic("read_pulse"), tech
+            assert env.optimistic("endurance_cycles") >= env.pessimistic(
+                "endurance_cycles"
+            ), tech
+
+    def test_fefet_read_energy_tier(self):
+        """FeFET cell-level read energy is a clear tier above STT's."""
+        fefet = ENVELOPES[TechnologyClass.FEFET]
+        stt = ENVELOPES[TechnologyClass.STT]
+        e_fefet = (
+            fefet.optimistic("read_voltage")
+            * fefet.optimistic("read_current")
+            * fefet.optimistic("read_pulse")
+        )
+        e_stt = (
+            stt.optimistic("read_voltage")
+            * stt.optimistic("read_current")
+            * stt.optimistic("read_pulse")
+        )
+        assert e_fefet > 10 * e_stt
+
+    def test_fefet_write_energy_is_femtojoule(self):
+        fefet = ENVELOPES[TechnologyClass.FEFET]
+        energy = (
+            fefet.optimistic("write_voltage")
+            * fefet.optimistic("set_current")
+            * fefet.optimistic("set_pulse")
+        )
+        assert energy < 1e-13  # < 100 fJ
+
+
+class TestTentpoles:
+    def test_optimistic_is_denser(self):
+        for tech in STUDY_TECHNOLOGIES:
+            tent = tentpoles_for(tech)
+            assert tent.optimistic.area_f2 <= tent.pessimistic.area_f2
+
+    def test_optimistic_beats_pessimistic_on_reliability(self):
+        for tech in STUDY_TECHNOLOGIES:
+            tent = tentpoles_for(tech)
+            assert tent.optimistic.endurance_cycles >= tent.pessimistic.endurance_cycles
+            assert tent.optimistic.write_pulse <= tent.pessimistic.write_pulse
+
+    def test_area_anchored_at_survey_extremes(self):
+        tent = tentpoles_for(TechnologyClass.FEFET)
+        assert tent.optimistic.area_f2 == pytest.approx(2.0)
+        assert tent.pessimistic.area_f2 == pytest.approx(103.0)
+
+    def test_rram_carries_reference_cell(self):
+        tent = tentpoles_for(TechnologyClass.RRAM)
+        assert tent.reference is not None
+        assert tent.reference.name == "RRAM-reference"
+        labelled = dict(tent.labelled())
+        assert set(labelled) == {"optimistic", "pessimistic", "reference"}
+
+    def test_other_techs_have_no_reference(self):
+        assert tentpoles_for(TechnologyClass.STT).reference is None
+
+    def test_study_cells_cover_flavors(self):
+        cells = study_cells()
+        names = {c.name for c in cells}
+        assert "STT-optimistic" in names
+        assert "FeFET-pessimistic" in names
+        assert "RRAM-reference" in names
+
+    def test_tentpole_cells_validate(self):
+        # Construction exercises CellTechnology validation for every tech.
+        for tech in ENVELOPES:
+            build_tentpole_cell(tech, optimistic=True)
+            build_tentpole_cell(tech, optimistic=False)
+
+    def test_tentpoles_cached(self):
+        assert tentpoles_for(TechnologyClass.STT) is tentpoles_for(TechnologyClass.STT)
+
+
+class TestPresets:
+    def test_sram_is_volatile_and_leaky(self):
+        cell = sram_cell(16)
+        assert cell.is_volatile
+        assert cell.cell_leakage > 0
+        assert cell.endurance_cycles is None
+        assert cell.area_f2 == pytest.approx(146.0)
+
+    def test_sram_leakage_scales_with_node(self):
+        assert sram_cell(7).cell_leakage < sram_cell(130).cell_leakage
+
+    def test_edram_needs_refresh(self):
+        cell = edram_cell()
+        assert cell.refresh_interval is not None
+        assert cell.retention_seconds == pytest.approx(cell.refresh_interval)
+
+    def test_reference_rram_matches_published_macro(self):
+        cell = reference_rram()
+        assert cell.native_node_nm == 40
+        assert cell.endurance_cycles == pytest.approx(1e5)
+
+    def test_back_gated_fefet_trades(self):
+        bg = back_gated_fefet()
+        opt = tentpoles_for(TechnologyClass.FEFET).optimistic
+        assert bg.write_pulse < opt.write_pulse / 5  # much faster writes
+        assert bg.endurance_cycles > opt.endurance_cycles  # better endurance
+        assert bg.area_f2 > opt.area_f2  # slightly less dense

@@ -1,0 +1,163 @@
+"""Configuration schema, loader, and CLI tests."""
+
+import json
+
+import pytest
+
+from repro.config import load_config, parse_config, run_config
+from repro.config.cli import main as cli_main
+from repro.errors import ConfigError
+
+
+def minimal_config(**overrides):
+    config = {
+        "name": "test-sweep",
+        "cells": {"technologies": ["STT"], "flavors": ["optimistic"]},
+        "system": {"capacities_mb": [1]},
+    }
+    config.update(overrides)
+    return config
+
+
+class TestSchema:
+    def test_minimal_config_parses(self):
+        parsed = parse_config(minimal_config())
+        assert parsed.name == "test-sweep"
+        assert len(parsed.cells) == 1
+        assert parsed.capacities_bytes == [1024 * 1024]
+
+    def test_missing_cells_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config({"name": "x"})
+
+    def test_empty_cell_selection_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config(minimal_config(cells={"technologies": []}))
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config(
+                minimal_config(cells={"technologies": ["STT"], "flavors": ["shiny"]})
+            )
+
+    def test_sram_baseline_included(self):
+        parsed = parse_config(
+            minimal_config(
+                cells={"technologies": ["STT"], "flavors": ["optimistic"],
+                       "include_sram": True}
+            )
+        )
+        names = {c.name for c in parsed.cells}
+        assert "SRAM-16nm" in names
+
+    def test_custom_cell(self):
+        config = minimal_config()
+        config["cells"]["custom"] = [
+            {"name": "my-rram", "tech_class": "RRAM", "area_f2": 6.0}
+        ]
+        parsed = parse_config(config)
+        assert any(c.name == "my-rram" for c in parsed.cells)
+
+    def test_custom_cell_bad_field_rejected(self):
+        config = minimal_config()
+        config["cells"]["custom"] = [
+            {"name": "bad", "tech_class": "RRAM", "area_f2": 6.0, "wat": 1}
+        ]
+        with pytest.raises(ConfigError):
+            parse_config(config)
+
+    def test_traffic_kinds(self):
+        for kind, expectation in (
+            ({"kind": "generic", "points": 2}, 4),
+            ({"kind": "spec2017"}, 20),
+            ({"kind": "dnn-continuous"}, 4),
+        ):
+            parsed = parse_config(minimal_config(traffic=kind))
+            assert len(parsed.traffic) == expectation
+
+    def test_dnn_intermittent_traffic(self):
+        parsed = parse_config(
+            minimal_config(
+                traffic={"kind": "dnn-intermittent", "workload": "albert",
+                         "capacity_mb": 32}
+            )
+        )
+        assert len(parsed.traffic) == 1
+        assert "albert" in parsed.traffic[0].name
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config(
+                minimal_config(traffic={"kind": "dnn-intermittent",
+                                        "workload": "nope"})
+            )
+
+    def test_unknown_traffic_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config(minimal_config(traffic={"kind": "quantum"}))
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValueError):
+            parse_config(
+                minimal_config(system={"capacities_mb": [1],
+                                       "optimization_targets": ["Vibes"]})
+            )
+
+    def test_bits_per_cell_validated(self):
+        with pytest.raises(ConfigError):
+            parse_config(
+                minimal_config(system={"capacities_mb": [1], "bits_per_cell": 0})
+            )
+
+
+class TestLoader:
+    def test_run_config_from_dict(self):
+        table = run_config(minimal_config())
+        assert len(table) == 1
+        assert table[0]["tech"] == "STT"
+
+    def test_run_config_from_file_with_csv(self, tmp_path):
+        out_csv = tmp_path / "results.csv"
+        config = minimal_config(output_csv=str(out_csv))
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(config))
+        table = run_config(path)
+        assert out_csv.exists()
+        assert len(table) == 1
+
+    def test_missing_file(self):
+        with pytest.raises(ConfigError):
+            load_config("/nonexistent/config.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError):
+            load_config(path)
+
+
+class TestCLI:
+    def test_cli_happy_path(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(minimal_config()))
+        code = cli_main([str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 result rows" in out
+
+    def test_cli_table_flag(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(minimal_config()))
+        assert cli_main([str(path), "--table"]) == 0
+        assert "| cell |" in capsys.readouterr().out
+
+    def test_cli_csv_flag(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(minimal_config()))
+        out_csv = tmp_path / "o.csv"
+        assert cli_main([str(path), "--csv", str(out_csv)]) == 0
+        assert out_csv.exists()
+
+    def test_cli_error_path(self, tmp_path, capsys):
+        assert cli_main([str(tmp_path / "missing.json")]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,80 @@
+"""ECC model tests."""
+
+import math
+
+import pytest
+
+from repro.errors import FaultModelError
+from repro.faults import DECTED_64, SECDED_64, ECCScheme, required_scheme, scheme_by_name
+
+
+class TestECCScheme:
+    def test_construction_validates(self):
+        with pytest.raises(FaultModelError):
+            ECCScheme("bad", data_bits=64, code_bits=64, correctable=1)
+        with pytest.raises(FaultModelError):
+            ECCScheme("bad", data_bits=0, code_bits=8, correctable=1)
+        with pytest.raises(FaultModelError):
+            ECCScheme("bad", data_bits=64, code_bits=72, correctable=-1)
+
+    def test_overhead(self):
+        assert SECDED_64.overhead == pytest.approx(8 / 64)
+        assert SECDED_64.effective_density_factor() == pytest.approx(64 / 72)
+        assert SECDED_64.access_energy_factor() == pytest.approx(72 / 64)
+
+    def test_zero_ber_is_perfect(self):
+        assert SECDED_64.word_failure_probability(0.0) == 0.0
+        assert SECDED_64.corrected_ber(0.0) == 0.0
+
+    def test_word_failure_binomial_tail(self):
+        # With t=1, failure = P(>=2 errors); at tiny p this is ~C(n,2) p^2.
+        p = 1e-6
+        n = SECDED_64.code_bits
+        expected = math.comb(n, 2) * p**2
+        assert SECDED_64.word_failure_probability(p) == pytest.approx(
+            expected, rel=0.01
+        )
+
+    def test_correction_strength_ordering(self):
+        for raw in (1e-6, 1e-4, 1e-3):
+            assert DECTED_64.corrected_ber(raw) < SECDED_64.corrected_ber(raw) < raw
+
+    def test_corrected_ber_monotone(self):
+        rates = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2]
+        corrected = [SECDED_64.corrected_ber(r) for r in rates]
+        assert corrected == sorted(corrected)
+
+    def test_high_ber_saturates(self):
+        assert SECDED_64.corrected_ber(0.5) <= 1.0
+
+    def test_invalid_ber_rejected(self):
+        with pytest.raises(FaultModelError):
+            SECDED_64.corrected_ber(1.5)
+
+
+class TestSchemeSelection:
+    def test_lookup_by_name(self):
+        assert scheme_by_name("SECDED") is SECDED_64
+        assert scheme_by_name(" dected ") is DECTED_64
+        with pytest.raises(FaultModelError):
+            scheme_by_name("turbo")
+
+    def test_no_scheme_needed(self):
+        assert required_scheme(1e-9, target_ber=1e-6) is None
+
+    def test_escalates_to_stronger_code(self):
+        assert required_scheme(5e-5, target_ber=1e-9) in (SECDED_64, DECTED_64)
+
+    def test_uncorrectable_raises(self):
+        with pytest.raises(FaultModelError):
+            required_scheme(0.1, target_ber=1e-9)
+
+    def test_fefet_mlc_usecase(self):
+        """The Figure 13 frontier moves with ECC: a 40 F^2 MLC FeFET needs
+        correction to hit an SLC-like error target; huge cells do not."""
+        from repro.faults import fefet_mlc_error_rate
+
+        large = required_scheme(fefet_mlc_error_rate(103.0), target_ber=1e-6)
+        mid = required_scheme(fefet_mlc_error_rate(40.0), target_ber=1e-6)
+        assert large is None
+        assert mid is not None

@@ -1,0 +1,135 @@
+"""Broad physical-sanity invariants of the array model.
+
+Parametrized sweeps across technologies, flavors, capacities, nodes, and
+access widths: these don't pin specific numbers, they pin the physics the
+studies rely on (positivity, monotonicity, ordering, scaling directions).
+A regression anywhere in the model shows up here first.
+"""
+
+import pytest
+
+from repro.cells import (
+    STUDY_TECHNOLOGIES,
+    VALIDATED_TECHNOLOGIES,
+    TechnologyClass,
+    sram_cell,
+    tentpoles_for,
+)
+from repro.nvsim import OptimizationTarget, characterize
+from repro.units import mb
+
+CAPACITIES = (mb(1), mb(4), mb(16))
+NODES = (16, 22, 28, 40)
+
+
+def _cells():
+    out = []
+    for tech in VALIDATED_TECHNOLOGIES:
+        tent = tentpoles_for(tech)
+        out.append(tent.optimistic)
+        out.append(tent.pessimistic)
+    out.append(sram_cell(16))
+    return out
+
+
+ALL_CELLS = _cells()
+
+
+@pytest.mark.parametrize("cell", ALL_CELLS, ids=lambda c: c.name)
+@pytest.mark.parametrize("capacity", CAPACITIES, ids=lambda c: f"{c >> 20}MB")
+def test_characterization_is_physical(cell, capacity):
+    node = 22 if cell.tech_class.is_nonvolatile else 16
+    array = characterize(cell, capacity, node_nm=node)
+    # Positivity and bounds.
+    assert array.area > 0
+    assert 0 < array.area_efficiency <= 1.0
+    assert 0 < array.read_latency < 1e-4
+    assert 0 < array.write_latency < 10.0
+    assert array.read_energy > 0 and array.write_energy > 0
+    assert array.leakage_power > 0
+    assert 0 < array.sleep_power < array.leakage_power * 10
+    # Writes pay at least the programming pulse; reads at least the cell's
+    # sensing time.  (Reads may exceed writes for fast-write technologies:
+    # the read path crosses the H-tree twice, address in and data out.)
+    assert array.write_latency >= cell.write_pulse
+    assert array.read_latency >= cell.read_pulse
+    # Bandwidths are consistent with latency and concurrency.
+    assert array.read_bandwidth == pytest.approx(
+        array.access_bytes * array.organization.concurrency / array.read_latency
+    )
+
+
+@pytest.mark.parametrize("cell", ALL_CELLS, ids=lambda c: c.name)
+def test_capacity_monotonicity(cell):
+    node = 22 if cell.tech_class.is_nonvolatile else 16
+    arrays = [characterize(cell, c, node_nm=node) for c in CAPACITIES]
+    areas = [a.area for a in arrays]
+    leaks = [a.leakage_power for a in arrays]
+    assert areas == sorted(areas)
+    assert leaks == sorted(leaks)
+    # Density roughly stable across capacities (within 2x).
+    densities = [a.density_mbit_per_mm2 for a in arrays]
+    assert max(densities) < 2 * min(densities)
+
+
+@pytest.mark.parametrize("tech", STUDY_TECHNOLOGIES, ids=lambda t: t.value)
+def test_optimistic_dominates_pessimistic(tech):
+    """At iso-capacity, the optimistic tentpole array is no worse than the
+    pessimistic one on every first-order metric."""
+    tent = tentpoles_for(tech)
+    opt = characterize(tent.optimistic, mb(4), node_nm=22)
+    pess = characterize(tent.pessimistic, mb(4), node_nm=22)
+    assert opt.read_latency <= pess.read_latency
+    assert opt.write_latency <= pess.write_latency
+    assert opt.read_energy <= pess.read_energy
+    assert opt.write_energy <= pess.write_energy
+    assert opt.area <= pess.area
+
+
+@pytest.mark.parametrize("node", NODES)
+def test_node_scaling_shrinks_arrays(node):
+    cell = tentpoles_for(TechnologyClass.STT).optimistic
+    array = characterize(cell, mb(4), node_nm=node)
+    assert array.area > 0
+    # Smaller node -> smaller array at iso-capacity.
+    reference = characterize(cell, mb(4), node_nm=40)
+    if node < 40:
+        assert array.area < reference.area
+
+
+@pytest.mark.parametrize("access_bits", (8, 64, 512))
+def test_access_width_scaling(access_bits):
+    cell = tentpoles_for(TechnologyClass.RRAM).optimistic
+    array = characterize(cell, mb(4), node_nm=22, access_bits=access_bits)
+    narrow = characterize(cell, mb(4), node_nm=22, access_bits=8)
+    # Wider accesses cost at least as much energy per access.
+    assert array.read_energy >= narrow.read_energy * 0.99
+    assert array.organization.access_bits == access_bits
+
+
+@pytest.mark.parametrize("tech", [TechnologyClass.RRAM, TechnologyClass.FEFET])
+def test_mlc_is_denser_but_slower(tech):
+    cell = tentpoles_for(tech).optimistic
+    slc = characterize(cell, mb(4), node_nm=22, bits_per_cell=1)
+    mlc = characterize(cell, mb(4), node_nm=22, bits_per_cell=2)
+    assert mlc.density_mbit_per_mm2 > slc.density_mbit_per_mm2
+    assert mlc.read_latency > slc.read_latency
+    assert mlc.write_latency > slc.write_latency
+
+
+def test_sram_leakage_dwarfs_envm_at_iso_capacity():
+    sram = characterize(sram_cell(16), mb(4), node_nm=16)
+    for tech in STUDY_TECHNOLOGIES:
+        envm = characterize(tentpoles_for(tech).optimistic, mb(4), node_nm=22)
+        assert sram.leakage_power > 3 * envm.leakage_power, tech
+
+def test_nonvolatile_sleep_orders_by_density():
+    """Denser arrays sleep cheaper (the Figure 7 mechanism), across the
+    full optimistic set at iso-capacity."""
+    sleeps = {}
+    for tech in STUDY_TECHNOLOGIES:
+        array = characterize(tentpoles_for(tech).optimistic, mb(16), node_nm=22)
+        sleeps[tech] = (array.density_mbit_per_mm2, array.sleep_power)
+    ordered = sorted(sleeps.values(), key=lambda pair: pair[0])
+    sleep_series = [s for _, s in ordered]
+    assert sleep_series == sorted(sleep_series, reverse=True)

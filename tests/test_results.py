@@ -1,0 +1,133 @@
+"""ResultTable tests."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.results import ResultTable
+
+
+@pytest.fixture()
+def table():
+    return ResultTable(
+        [
+            {"tech": "STT", "power": 2.0, "latency": 1.5},
+            {"tech": "RRAM", "power": 1.0, "latency": 2.5},
+            {"tech": "PCM", "power": 3.0, "latency": 4.0},
+            {"tech": "STT", "power": 2.5, "latency": 1.0},
+        ]
+    )
+
+
+class TestBasics:
+    def test_len_iter_index(self, table):
+        assert len(table) == 4
+        assert table[1]["tech"] == "RRAM"
+        assert sum(1 for _ in table) == 4
+
+    def test_columns_in_first_seen_order(self):
+        t = ResultTable([{"a": 1}, {"b": 2, "a": 3}])
+        assert t.columns == ["a", "b"]
+
+    def test_column_extraction_with_default(self, table):
+        assert table.column("power") == [2.0, 1.0, 3.0, 2.5]
+        assert table.column("missing", default=0) == [0, 0, 0, 0]
+
+    def test_append_copies(self):
+        t = ResultTable()
+        record = {"x": 1}
+        t.append(record)
+        record["x"] = 99
+        assert t[0]["x"] == 1
+
+    def test_bool(self):
+        assert not ResultTable()
+        assert ResultTable([{"a": 1}])
+
+
+class TestVerbs:
+    def test_where(self, table):
+        stt = table.where(tech="STT")
+        assert len(stt) == 2
+
+    def test_filter(self, table):
+        cheap = table.filter(lambda r: r["power"] < 2.5)
+        assert len(cheap) == 2
+
+    def test_select(self, table):
+        slim = table.select("tech")
+        assert slim.columns == ["tech"]
+        assert len(slim) == 4
+
+    def test_sort_by_with_none_last(self):
+        t = ResultTable([{"v": None}, {"v": 2}, {"v": 1}])
+        ordered = t.sort_by("v")
+        assert ordered.column("v") == [1, 2, None]
+
+    def test_group_by(self, table):
+        groups = table.group_by("tech")
+        assert set(groups) == {("STT",), ("RRAM",), ("PCM",)}
+        assert len(groups[("STT",)]) == 2
+
+    def test_min_max_by(self, table):
+        assert table.min_by("power")["tech"] == "RRAM"
+        assert table.max_by("latency")["tech"] == "PCM"
+
+    def test_min_by_ignores_none(self):
+        t = ResultTable([{"v": None}, {"v": 5}])
+        assert t.min_by("v")["v"] == 5
+
+    def test_min_by_empty_raises(self):
+        with pytest.raises(ReproError):
+            ResultTable().min_by("v")
+
+    def test_aggregate(self, table):
+        assert table.aggregate("power", sum) == pytest.approx(8.5)
+        with pytest.raises(ReproError):
+            table.aggregate("nothing", sum)
+
+    def test_unique_preserves_order(self, table):
+        assert table.unique("tech") == ["STT", "RRAM", "PCM"]
+
+    def test_concat(self, table):
+        both = table.concat(table)
+        assert len(both) == 8
+
+    def test_with_column(self, table):
+        extended = table.with_column("edp", lambda r: r["power"] * r["latency"])
+        assert extended[0]["edp"] == pytest.approx(3.0)
+        assert "edp" not in table[0]
+
+
+class TestExport:
+    def test_csv_roundtrip(self, table):
+        text = table.to_csv()
+        back = ResultTable.from_csv(text)
+        assert len(back) == 4
+        assert back[0]["power"] == pytest.approx(2.0)
+        assert back[1]["tech"] == "RRAM"
+
+    def test_csv_writes_file(self, table, tmp_path):
+        path = tmp_path / "out.csv"
+        table.to_csv(str(path))
+        assert path.exists()
+        assert "tech" in path.read_text()
+
+    def test_csv_coerces_types(self):
+        back = ResultTable.from_csv("a,b,c,d\n1,2.5,True,hello\n")
+        row = back[0]
+        assert row["a"] == 1 and isinstance(row["a"], int)
+        assert row["b"] == pytest.approx(2.5)
+        assert row["c"] is True
+        assert row["d"] == "hello"
+
+    def test_csv_empty_values_become_none(self):
+        back = ResultTable.from_csv("a,b\n1,\n")
+        assert back[0]["b"] is None
+
+    def test_markdown_render(self, table):
+        md = table.to_markdown()
+        assert md.startswith("| tech | power | latency |")
+        assert "| RRAM | 1 | 2.5 |" in md
+
+    def test_markdown_empty(self):
+        assert ResultTable().to_markdown() == "(empty table)"

@@ -1,0 +1,48 @@
+"""The shipped config/ samples parse and run end to end."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import load_config, run_config
+
+CONFIG_DIR = Path(__file__).resolve().parent.parent / "config"
+CONFIG_FILES = sorted(CONFIG_DIR.glob("*.json"))
+
+
+def test_samples_exist():
+    names = {p.name for p in CONFIG_FILES}
+    assert "main_dnn_study.json" in names
+    assert "graph_study.json" in names
+    assert "spec_llc_study.json" in names
+    assert "array_characterization.json" in names
+
+
+@pytest.mark.parametrize("path", CONFIG_FILES, ids=lambda p: p.name)
+def test_sample_parses(path):
+    parsed = load_config(path)
+    assert parsed.cells
+    assert parsed.capacities_bytes
+
+
+def test_main_dnn_study_runs(tmp_path):
+    raw = json.loads((CONFIG_DIR / "main_dnn_study.json").read_text())
+    raw["output_csv"] = str(tmp_path / "dnn.csv")
+    # Shrink the sweep for test time: one capacity is already configured.
+    table = run_config(raw)
+    assert len(table) > 0
+    assert (tmp_path / "dnn.csv").exists()
+    assert {"PCM", "STT", "RRAM", "FeFET", "SRAM"} <= set(table.column("tech"))
+
+
+def test_array_characterization_runs(tmp_path):
+    raw = json.loads((CONFIG_DIR / "array_characterization.json").read_text())
+    raw["output_csv"] = str(tmp_path / "arrays.csv")
+    # Restrict targets to keep the unit-test fast; the full sweep runs in
+    # the benches.
+    raw["system"]["optimization_targets"] = ["ReadEDP"]
+    table = run_config(raw)
+    # 7 technologies x 2 flavors + SRAM = 15 arrays (the config does not
+    # request the reference flavor).
+    assert len(table) == 15

@@ -1,0 +1,220 @@
+"""Traffic substrate tests: patterns, sweeps, DNN, graph, SPEC."""
+
+import math
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.traffic import (
+    ALBERT,
+    MULTI_TASK_IMAGE,
+    RESNET26,
+    SPEC2017_BENCHMARKS,
+    TrafficPattern,
+    NVDLAPerformanceModel,
+    benchmark_by_name,
+    bfs_access_counts,
+    continuous_scenarios,
+    facebook_bfs_traffic,
+    facebook_like_graph,
+    generic_sweep,
+    graph_envelope_sweep,
+    graph_kernel_suite,
+    kernel_traffic,
+    log_spaced,
+    pagerank_access_counts,
+    spec2017_suite,
+    spec_traffic,
+    sssp_access_counts,
+    wikipedia_like_graph,
+)
+from repro.units import mb
+
+
+class TestTrafficPattern:
+    def test_derived_quantities(self, simple_traffic):
+        t = simple_traffic
+        assert t.total_accesses_per_second == pytest.approx(1e7 + 1e5)
+        assert t.read_bandwidth == pytest.approx(8e7)
+        assert t.write_bandwidth == pytest.approx(8e5)
+        assert t.write_bits_per_second == pytest.approx(6.4e6)
+        assert 0.98 < t.read_fraction < 1.0
+
+    def test_zero_traffic_read_fraction(self):
+        t = TrafficPattern("idle", 0.0, 0.0)
+        assert t.read_fraction == 0.0
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(TrafficError):
+            TrafficPattern("bad", -1.0, 0.0)
+
+    def test_from_totals(self):
+        t = TrafficPattern.from_totals("task", 1000, 100, duration=0.5)
+        assert t.reads_per_second == pytest.approx(2000)
+        assert t.writes_per_second == pytest.approx(200)
+
+    def test_from_totals_rejects_zero_duration(self):
+        with pytest.raises(TrafficError):
+            TrafficPattern.from_totals("bad", 1, 1, duration=0.0)
+
+    def test_scaled(self, simple_traffic):
+        scaled = simple_traffic.scaled(write_factor=0.5)
+        assert scaled.writes_per_second == pytest.approx(5e4)
+        assert scaled.reads_per_second == simple_traffic.reads_per_second
+
+    def test_metadata_merge(self, simple_traffic):
+        tagged = simple_traffic.with_metadata(suite="unit")
+        assert tagged.metadata["suite"] == "unit"
+
+
+class TestGenericSweeps:
+    def test_log_spaced_endpoints(self):
+        values = log_spaced(1.0, 1000.0, 4)
+        assert values[0] == pytest.approx(1.0)
+        assert values[-1] == pytest.approx(1000.0)
+        assert len(values) == 4
+
+    def test_log_spaced_rejects_bad_ranges(self):
+        with pytest.raises(TrafficError):
+            log_spaced(0.0, 10.0, 3)
+        with pytest.raises(TrafficError):
+            log_spaced(10.0, 1.0, 3)
+
+    def test_generic_sweep_is_cross_product(self):
+        patterns = generic_sweep([1e5, 1e6], [1e3, 1e4, 1e5])
+        assert len(patterns) == 6
+
+    def test_graph_envelope_covers_cited_ranges(self):
+        patterns = graph_envelope_sweep(points_per_axis=3)
+        read_bw = [p.read_bandwidth for p in patterns]
+        write_bw = [p.write_bandwidth for p in patterns]
+        assert max(read_bw) == pytest.approx(10e9, rel=0.01)
+        assert min(write_bw) == pytest.approx(1e6, rel=0.01)
+        assert max(write_bw) == pytest.approx(100e6, rel=0.01)
+
+
+class TestDNNTraffic:
+    def test_continuous_weights_only_is_read_dominated(self):
+        model = NVDLAPerformanceModel(mb(2))
+        t = model.continuous_traffic(RESNET26)
+        assert t.read_fraction > 0.99
+        assert t.reads_per_second == pytest.approx(
+            mb(2) * 3.0 / 64 * 60.0
+        )
+
+    def test_activations_add_writes(self):
+        model = NVDLAPerformanceModel(mb(2))
+        without = model.continuous_traffic(RESNET26, store_activations=False)
+        with_acts = model.continuous_traffic(RESNET26, store_activations=True)
+        assert with_acts.writes_per_second > without.writes_per_second
+        assert with_acts.reads_per_second > without.reads_per_second
+
+    def test_streaming_weights_generate_writes(self):
+        model = NVDLAPerformanceModel(mb(2))
+        t = model.continuous_traffic(MULTI_TASK_IMAGE)
+        assert t.writes_per_second > 0  # weights beyond 2 MB stream through
+
+    def test_intermittent_reads_all_weights(self):
+        model = NVDLAPerformanceModel(mb(32))
+        t = model.intermittent_traffic(ALBERT, inferences_per_second=2.0)
+        expected_reads = ALBERT.weight_bytes * ALBERT.weight_reuse / 64
+        assert t.reads_per_task == pytest.approx(expected_reads)
+        assert t.reads_per_second == pytest.approx(2 * expected_reads)
+        assert t.writes_per_second == 0.0
+
+    def test_multi_task_combination_sums_footprints(self):
+        assert MULTI_TASK_IMAGE.weight_bytes > RESNET26.weight_bytes
+        assert MULTI_TASK_IMAGE.task == "multi-task"
+
+    def test_continuous_scenarios_shape(self):
+        scenarios = continuous_scenarios(mb(2))
+        assert len(scenarios) == 4
+        names = {s.name for s in scenarios}
+        assert any("weights+acts" in n for n in names)
+
+    def test_invalid_fps_rejected(self):
+        model = NVDLAPerformanceModel(mb(2))
+        with pytest.raises(TrafficError):
+            model.continuous_traffic(RESNET26, fps=0.0)
+
+    def test_albert_has_large_access_count(self):
+        """ALBERT's layer sharing makes its per-inference reads >> ResNet's
+        (the Figure 7 slope argument)."""
+        model = NVDLAPerformanceModel(mb(32))
+        albert = model.intermittent_traffic(ALBERT)
+        resnet = model.intermittent_traffic(RESNET26)
+        assert albert.reads_per_task > 10 * resnet.reads_per_task
+
+
+class TestGraphTraffic:
+    def test_synthetic_graphs_have_expected_scale(self):
+        fb = facebook_like_graph()
+        assert 3500 < fb.number_of_nodes() < 4500
+        assert fb.number_of_edges() > 50_000
+        wiki = wikipedia_like_graph()
+        assert wiki.number_of_nodes() > fb.number_of_nodes()
+
+    def test_bfs_visits_whole_component(self):
+        graph = facebook_like_graph()
+        counts = bfs_access_counts(graph)
+        # BA graphs are connected: every vertex written exactly once.
+        assert counts.writes == graph.number_of_nodes()
+        # Undirected edges traversed from both endpoints.
+        assert counts.edges_traversed == 2 * graph.number_of_edges()
+
+    def test_pagerank_counts_scale_with_iterations(self):
+        graph = wikipedia_like_graph()
+        one = pagerank_access_counts(graph, iterations=1)
+        three = pagerank_access_counts(graph, iterations=3)
+        assert three.reads == pytest.approx(3 * one.reads)
+        assert three.writes == pytest.approx(3 * one.writes)
+
+    def test_sssp_reaches_everything(self):
+        graph = facebook_like_graph()
+        counts = sssp_access_counts(graph)
+        assert counts.writes >= graph.number_of_nodes()
+
+    def test_kernel_traffic_rates(self):
+        counts = bfs_access_counts(facebook_like_graph())
+        t = kernel_traffic("bfs", counts, edges_per_second=1e9)
+        expected_duration = counts.edges_traversed / 1e9
+        assert t.duration == pytest.approx(expected_duration)
+        assert t.reads_per_second == pytest.approx(counts.reads / expected_duration)
+
+    def test_facebook_bfs_in_generic_envelope(self):
+        t = facebook_bfs_traffic()
+        assert 1e8 < t.reads_per_second < 1e10
+        assert t.writes_per_second < t.reads_per_second
+
+    def test_kernel_suite_complete(self):
+        suite = list(graph_kernel_suite())
+        assert len(suite) == 6
+        kinds = {p.name.split("-")[-1] for p in suite}
+        assert kinds == {"bfs", "pagerank", "sssp"}
+
+
+class TestSpecTraffic:
+    def test_suite_size_and_split(self):
+        suite = spec2017_suite()
+        assert len(suite) == 20
+        suites = {p.metadata["suite"] for p in suite}
+        assert suites == {"SPECint", "SPECfp"}
+
+    def test_rates_derive_from_mpki(self):
+        mcf = benchmark_by_name("mcf_s")
+        t = spec_traffic(mcf)
+        assert t.reads_per_second == pytest.approx(mcf.llc_read_mpki * 2e10 / 1000)
+        assert t.access_bytes == 64
+
+    def test_memory_bound_tops_compute_bound(self):
+        mcf = benchmark_by_name("605.mcf_s")
+        exchange = benchmark_by_name("648.exchange2_s")
+        assert mcf.reads_per_second > 50 * exchange.reads_per_second
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_by_name("999.nope")
+
+    def test_rates_span_orders_of_magnitude(self):
+        rates = [b.reads_per_second for b in SPEC2017_BENCHMARKS]
+        assert max(rates) / min(rates) > 50

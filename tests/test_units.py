@@ -1,0 +1,39 @@
+"""Unit-constant and conversion helper tests."""
+
+import math
+
+from repro import units
+
+
+def test_capacity_helpers():
+    assert units.mb(1) == 1024 * 1024
+    assert units.mb(2.5) == int(2.5 * 1024 * 1024)
+    assert units.kb(4) == 4096
+
+
+def test_time_conversions():
+    assert units.to_ns(1e-9) == 1.0
+    assert units.to_ns(2.5e-9) == 2.5
+
+
+def test_energy_power_conversions():
+    assert units.to_pj(1e-12) == 1.0
+    assert units.to_mw(0.001) == 1.0
+
+
+def test_area_conversion():
+    assert math.isclose(units.to_mm2(1e-6), 1.0)
+
+
+def test_years_roundtrip():
+    assert math.isclose(units.years(units.SECONDS_PER_YEAR), 1.0)
+    assert math.isclose(units.years(units.SECONDS_PER_DAY) * 365.25, 1.0)
+
+
+def test_prefix_constants_are_consistent():
+    assert units.NANOSECOND == 1e-9
+    assert units.PICOJOULE == 1e-12
+    assert units.MICROWATT == 1e-6
+    assert units.MB == 1024 * units.KB
+    assert units.GB == 1024 * units.MB
+    assert units.BITS_PER_BYTE == 8
