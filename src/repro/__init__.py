@@ -25,6 +25,7 @@ from repro.cells import (
 )
 from repro.errors import ReproError
 from repro.nvsim import ArrayCharacterization, OptimizationTarget, characterize
+from repro.runtime import CharacterizationCache, ProgressEvent, SweepTelemetry
 
 __version__ = "1.0.0"
 
@@ -41,4 +42,7 @@ __all__ = [
     "characterize",
     "ArrayCharacterization",
     "OptimizationTarget",
+    "CharacterizationCache",
+    "ProgressEvent",
+    "SweepTelemetry",
 ]

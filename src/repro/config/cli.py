@@ -31,13 +31,35 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--csv", metavar="PATH", help="write results as CSV (overrides config)"
     )
+    parser.add_argument(
+        "--workers", type=int, metavar="N",
+        help="parallel sweep worker processes (overrides config runtime.workers)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH",
+        help="persistent characterization cache (overrides config runtime.cache_dir)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print one line per completed/cached/failed sweep point",
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    progress = (
+        (lambda event: print(event.describe(), file=sys.stderr))
+        if args.progress
+        else None
+    )
     try:
-        table = run_config(args.config)
+        table = run_config(
+            args.config,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            progress=progress,
+        )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

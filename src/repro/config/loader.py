@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Mapping, Union
+from typing import Any, Mapping, Optional, Union
 
 from repro.config.schema import ParsedConfig, parse_config
 from repro.core.engine import DSEEngine, SweepSpec
@@ -31,8 +31,18 @@ def load_config(source: Union[str, Path, Mapping[str, Any]]) -> ParsedConfig:
     return parse_config(raw)
 
 
-def run_config(source: Union[str, Path, Mapping[str, Any]]) -> ResultTable:
-    """Execute a configuration end to end."""
+def run_config(
+    source: Union[str, Path, Mapping[str, Any]],
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    progress=None,
+) -> ResultTable:
+    """Execute a configuration end to end.
+
+    ``workers`` and ``cache_dir`` override the config's ``runtime``
+    section (e.g. from CLI flags); ``progress`` receives one
+    :class:`~repro.runtime.telemetry.ProgressEvent` per sweep point.
+    """
     config = load_config(source)
     spec = SweepSpec(
         cells=config.cells,
@@ -44,7 +54,13 @@ def run_config(source: Union[str, Path, Mapping[str, Any]]) -> ResultTable:
         access_bits=config.access_bits,
         bits_per_cell=config.bits_per_cell,
     )
-    table = DSEEngine().run(spec)
+    engine = DSEEngine(
+        workers=workers if workers is not None else config.workers,
+        cache_dir=cache_dir if cache_dir is not None else config.cache_dir,
+        on_error=config.on_error,
+        progress=progress,
+    )
+    table = engine.run(spec)
     if config.output_csv:
         out = Path(config.output_csv)
         if out.parent and not out.parent.exists():

@@ -23,8 +23,18 @@ A config describes one design sweep::
                 | "graph-kernels" | "spec2017" | "generic",
         ... kind-specific parameters ...
       },
+      "runtime": {
+        "workers": 4,
+        "cache_dir": ".nvmcache",
+        "on_error": "raise" | "skip"
+      },
       "output_csv": "results.csv"
     }
+
+The optional ``runtime`` section controls sweep execution (see
+:mod:`repro.runtime`): process-pool width, the persistent
+characterization cache directory, and whether a failing design point
+aborts the sweep or is skipped with telemetry.
 
 :func:`parse_config` validates a dict into a :class:`ParsedConfig`;
 :func:`repro.config.loader.run_config` executes it.
@@ -63,6 +73,9 @@ class ParsedConfig:
     bits_per_cell: int
     traffic: Sequence[TrafficPattern]
     output_csv: Optional[str] = None
+    workers: int = 1
+    cache_dir: Optional[str] = None
+    on_error: str = "raise"
 
 
 def _require(mapping: Mapping[str, Any], key: str, context: str) -> Any:
@@ -174,6 +187,19 @@ def parse_config(raw: Mapping[str, Any]) -> ParsedConfig:
     if bits < 1:
         raise ConfigError("system.bits_per_cell must be >= 1")
 
+    runtime = raw.get("runtime", {})
+    if not isinstance(runtime, Mapping):
+        raise ConfigError("runtime section must be an object")
+    workers = int(runtime.get("workers", 1))
+    if workers < 1:
+        raise ConfigError("runtime.workers must be >= 1")
+    on_error = str(runtime.get("on_error", "raise"))
+    if on_error not in ("raise", "skip"):
+        raise ConfigError("runtime.on_error must be 'raise' or 'skip'")
+    cache_dir = runtime.get("cache_dir")
+    if cache_dir is not None:
+        cache_dir = str(cache_dir)
+
     return ParsedConfig(
         name=name,
         cells=cells,
@@ -185,4 +211,7 @@ def parse_config(raw: Mapping[str, Any]) -> ParsedConfig:
         bits_per_cell=bits,
         traffic=_parse_traffic(raw.get("traffic")),
         output_csv=raw.get("output_csv"),
+        workers=workers,
+        cache_dir=cache_dir,
+        on_error=on_error,
     )

@@ -5,12 +5,20 @@ given cell definitions, array provisioning choices, and traffic patterns,
 characterize every array once and evaluate every (array, traffic) pair,
 producing a :class:`~repro.results.ResultTable` whose rows carry everything
 the dashboards plot.
+
+Execution is delegated to :mod:`repro.runtime`: ``workers>1`` fans
+characterization and (array, traffic) evaluation out over a process pool,
+``cache_dir`` persists characterizations across runs, and
+``on_error="skip"`` reports failed points through telemetry instead of
+aborting the sweep.  The defaults (serial, in-memory cache only, abort on
+error) preserve the engine's historical behavior.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.cells.base import CellTechnology
 from repro.core.metrics import SystemEvaluation, evaluate
@@ -18,6 +26,14 @@ from repro.errors import CharacterizationError
 from repro.nvsim import characterize
 from repro.nvsim.result import ArrayCharacterization, OptimizationTarget
 from repro.results.table import ResultTable
+from repro.runtime.cache import CharacterizationCache
+from repro.runtime.executor import (
+    SweepPoint,
+    characterize_points,
+    parallel_map,
+    sweep_points,
+)
+from repro.runtime.telemetry import COMPLETED, ProgressEvent, SweepTelemetry
 from repro.traffic.base import TrafficPattern
 from repro.units import to_mm2, to_ns, to_pj
 
@@ -103,11 +119,69 @@ def evaluation_record(ev: SystemEvaluation) -> dict:
     return row
 
 
-class DSEEngine:
-    """Runs sweeps and caches array characterizations along the way."""
+def _evaluation_rows(payload) -> list[dict]:
+    """Pool worker: evaluate one array under every traffic pattern."""
+    array, traffic = payload
+    return [evaluation_record(evaluate(array, t)) for t in traffic]
 
-    def __init__(self) -> None:
-        self._array_cache: dict[tuple, ArrayCharacterization] = {}
+
+class DSEEngine:
+    """Runs sweeps and caches array characterizations along the way.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool width for characterization and evaluation fan-out;
+        1 (the default) runs everything serially in-process.
+    cache_dir:
+        Directory for the persistent characterization cache; ``None``
+        keeps results in memory only.
+    on_error:
+        ``"raise"`` aborts the sweep on the first
+        :class:`CharacterizationError` (historical behavior); ``"skip"``
+        drops the failing point, records it in the run's telemetry, and
+        keeps sweeping.
+    progress:
+        Optional callback receiving one
+        :class:`~repro.runtime.telemetry.ProgressEvent` per sweep point.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        on_error: str = "raise",
+        progress=None,
+    ) -> None:
+        if on_error not in ("raise", "skip"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'skip', got {on_error!r}"
+            )
+        self.workers = max(1, int(workers))
+        self.on_error = on_error
+        self.progress = progress
+        self.cache: Optional[CharacterizationCache] = (
+            CharacterizationCache(cache_dir) if cache_dir is not None else None
+        )
+        #: In-memory cache keyed by the stable point fingerprint (shared
+        #: with the on-disk cache's addressing).
+        self._array_cache: dict[str, ArrayCharacterization] = {}
+        #: Telemetry of the most recent ``run``/``arrays`` call.
+        self.last_telemetry: Optional[SweepTelemetry] = None
+
+    def fingerprint(
+        self,
+        cell: CellTechnology,
+        capacity_bytes: int,
+        node_nm: int,
+        target: OptimizationTarget,
+        access_bits: int,
+        bits_per_cell: int,
+    ) -> str:
+        """The stable cache key of one design point."""
+        return SweepPoint(
+            cell, capacity_bytes, node_nm, target, access_bits, bits_per_cell
+        ).fingerprint()
 
     def characterize(
         self,
@@ -118,48 +192,72 @@ class DSEEngine:
         access_bits: int,
         bits_per_cell: int,
     ) -> ArrayCharacterization:
-        key = (cell, capacity_bytes, node_nm, target, access_bits, bits_per_cell)
-        if key not in self._array_cache:
-            self._array_cache[key] = characterize(
-                cell,
-                capacity_bytes,
-                node_nm=node_nm,
-                optimization_target=target,
-                access_bits=access_bits,
-                bits_per_cell=bits_per_cell,
-            )
-        return self._array_cache[key]
+        point = SweepPoint(
+            cell, capacity_bytes, node_nm, target, access_bits, bits_per_cell
+        )
+        result = characterize_points(
+            [point],
+            workers=1,
+            cache=self.cache,
+            memory=self._array_cache,
+            on_error="raise",
+        )[0]
+        assert result is not None  # on_error="raise" never returns None
+        return result
+
+    def _characterized(
+        self, spec: SweepSpec, telemetry: SweepTelemetry
+    ) -> list[ArrayCharacterization]:
+        results = characterize_points(
+            sweep_points(spec),
+            workers=self.workers,
+            cache=self.cache,
+            memory=self._array_cache,
+            on_error=self.on_error,
+            telemetry=telemetry,
+        )
+        return [array for array in results if array is not None]
 
     def arrays(self, spec: SweepSpec) -> list[ArrayCharacterization]:
-        """Characterize every (cell, capacity, target) of the sweep."""
-        out = []
-        for cell in spec.cells:
-            node = spec.node_nm
-            if not cell.tech_class.is_nonvolatile:
-                node = spec.sram_node_nm
-            for capacity in spec.capacities_bytes:
-                for target in spec.optimization_targets:
-                    out.append(
-                        self.characterize(
-                            cell, capacity, node, target,
-                            spec.access_bits, spec.bits_per_cell,
-                        )
-                    )
-        return out
+        """Characterize every (cell, capacity, target) of the sweep.
+
+        Points that fail under ``on_error="skip"`` are omitted (see
+        ``last_telemetry`` for what was dropped).
+        """
+        telemetry = SweepTelemetry(self.progress)
+        self.last_telemetry = telemetry
+        return self._characterized(spec, telemetry)
 
     def run(self, spec: SweepSpec) -> ResultTable:
         """Run the full sweep.
 
         Without traffic the table holds array characterizations; with
-        traffic it holds one row per (array, traffic) evaluation.
+        traffic it holds one row per (array, traffic) evaluation.  Row
+        order is deterministic and independent of ``workers``.
         """
-        arrays = self.arrays(spec)
+        telemetry = SweepTelemetry(self.progress)
+        self.last_telemetry = telemetry
+        arrays = self._characterized(spec, telemetry)
         table = ResultTable()
         if not spec.traffic:
             for array in arrays:
                 table.append(array_record(array))
             return table
-        for array in arrays:
-            for traffic in spec.traffic:
-                table.append(evaluation_record(evaluate(array, traffic)))
+        traffic = tuple(spec.traffic)
+        jobs = [(array, traffic) for array in arrays]
+
+        def _evaluated(index: int, rows) -> None:
+            telemetry.emit(
+                ProgressEvent(
+                    COMPLETED, arrays[index].label, index, len(arrays),
+                    phase="evaluate",
+                )
+            )
+
+        row_chunks = parallel_map(
+            _evaluation_rows, jobs, workers=self.workers, on_result=_evaluated
+        )
+        for rows in row_chunks:
+            for row in rows:
+                table.append(row)
         return table

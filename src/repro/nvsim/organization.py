@@ -11,8 +11,8 @@ of subarrays form independent banks that can pipeline accesses.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Iterator
+from dataclasses import asdict, dataclass
+from typing import Any, Iterator, Mapping
 
 from repro.errors import CharacterizationError
 
@@ -86,6 +86,20 @@ class ArrayOrganization:
         while self.n_subarrays % nx != 0:
             nx -= 1
         return nx, self.n_subarrays // nx
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable representation (for the on-disk cache)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArrayOrganization":
+        """Rebuild an organization from :meth:`to_dict` output."""
+        try:
+            return cls(**{k: int(v) for k, v in data.items()})
+        except TypeError as exc:
+            raise CharacterizationError(
+                f"invalid organization payload: {exc}"
+            ) from exc
 
     def describe(self) -> str:
         nx, ny = self.grid_shape

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Mapping, Optional
 
 from repro.cells.base import CellTechnology
+from repro.errors import CharacterizationError
 from repro.nvsim.organization import ArrayOrganization
 from repro.units import BITS_PER_BYTE, to_mm2, to_ns, to_pj
 
@@ -134,6 +135,57 @@ class ArrayCharacterization:
             OptimizationTarget.LEAKAGE: self.leakage_power,
         }
         return table[target]
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable representation (the on-disk cache payload)."""
+        from repro.cells.export import cell_to_dict
+
+        return {
+            "cell": cell_to_dict(self.cell),
+            "capacity_bytes": self.capacity_bytes,
+            "node_nm": self.node_nm,
+            "bits_per_cell": self.bits_per_cell,
+            "optimization_target": self.optimization_target.value,
+            "organization": self.organization.to_dict(),
+            "area": self.area,
+            "area_efficiency": self.area_efficiency,
+            "read_latency": self.read_latency,
+            "write_latency": self.write_latency,
+            "read_energy": self.read_energy,
+            "write_energy": self.write_energy,
+            "leakage_power": self.leakage_power,
+            "sleep_power": self.sleep_power,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArrayCharacterization":
+        """Rebuild a characterization from :meth:`to_dict` output."""
+        from repro.cells.export import cell_from_dict
+        from repro.nvsim.organization import ArrayOrganization
+
+        try:
+            return cls(
+                cell=cell_from_dict(data["cell"]),
+                capacity_bytes=int(data["capacity_bytes"]),
+                node_nm=int(data["node_nm"]),
+                bits_per_cell=int(data["bits_per_cell"]),
+                optimization_target=OptimizationTarget.from_string(
+                    str(data["optimization_target"])
+                ),
+                organization=ArrayOrganization.from_dict(data["organization"]),
+                area=float(data["area"]),
+                area_efficiency=float(data["area_efficiency"]),
+                read_latency=float(data["read_latency"]),
+                write_latency=float(data["write_latency"]),
+                read_energy=float(data["read_energy"]),
+                write_energy=float(data["write_energy"]),
+                leakage_power=float(data["leakage_power"]),
+                sleep_power=float(data["sleep_power"]),
+            )
+        except (KeyError, ValueError) as exc:
+            raise CharacterizationError(
+                f"invalid characterization payload: {exc}"
+            ) from exc
 
     def summary(self) -> str:
         """Human-readable one-line summary (for examples and reports)."""

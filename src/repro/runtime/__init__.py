@@ -1,0 +1,50 @@
+"""Sweep execution runtime: parallelism, persistent caching, telemetry.
+
+The paper's value proposition is *fast* cross-stack design-space
+exploration; this package is the execution layer that delivers it:
+
+* :mod:`repro.runtime.fingerprint` — stable, content-addressed identities
+  for sweep points (cell parameters + array provisioning), shared by the
+  in-memory and on-disk caches.
+* :mod:`repro.runtime.cache` — a persistent characterization cache so
+  repeated and incremental sweeps are near-instant and interrupted sweeps
+  are resumable.
+* :mod:`repro.runtime.executor` — chunked fan-out of characterization and
+  (array, traffic) evaluation over a :class:`~concurrent.futures.\
+ProcessPoolExecutor`, with deterministic result ordering and a serial
+  fallback for ``workers=1``.
+* :mod:`repro.runtime.telemetry` — progress events (completed / cached /
+  failed points) via callback and logging instead of dying on the first
+  :class:`~repro.errors.CharacterizationError`.
+"""
+
+from repro.runtime.cache import CharacterizationCache
+from repro.runtime.executor import (
+    SweepPoint,
+    characterize_points,
+    parallel_map,
+    sweep_points,
+)
+from repro.runtime.fingerprint import (
+    SCHEMA_TAG,
+    canonical_json,
+    fingerprint_payload,
+    point_fingerprint,
+    point_payload,
+)
+from repro.runtime.telemetry import ProgressEvent, SweepTelemetry
+
+__all__ = [
+    "SCHEMA_TAG",
+    "CharacterizationCache",
+    "ProgressEvent",
+    "SweepPoint",
+    "SweepTelemetry",
+    "canonical_json",
+    "characterize_points",
+    "fingerprint_payload",
+    "parallel_map",
+    "point_fingerprint",
+    "point_payload",
+    "sweep_points",
+]

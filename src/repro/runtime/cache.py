@@ -1,0 +1,114 @@
+"""Persistent, content-addressed characterization cache.
+
+One JSON file per characterized design point, addressed by the point's
+:func:`~repro.runtime.fingerprint.point_fingerprint` and fanned out over
+256 two-hex-digit subdirectories so large sweeps don't produce a single
+enormous directory.  Writes are atomic (temp file + ``os.replace``), so a
+sweep interrupted mid-store never leaves a truncated entry and a re-run
+resumes from whatever completed.
+
+Invalidation is by schema tag: the tag participates in the fingerprint,
+so bumping :data:`~repro.runtime.fingerprint.SCHEMA_TAG` makes every old
+entry unreachable.  The stored payload additionally records the tag and
+is re-checked on load, guarding against entries copied across versions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.errors import ReproError
+from repro.nvsim.result import ArrayCharacterization
+from repro.runtime.fingerprint import SCHEMA_TAG
+
+
+class CharacterizationCache:
+    """On-disk store of :class:`ArrayCharacterization` keyed by fingerprint."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        schema_tag: str = SCHEMA_TAG,
+    ) -> None:
+        self.root = Path(root)
+        self.schema_tag = schema_tag
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ReproError(f"cannot create cache directory {self.root}: {exc}") from exc
+
+    # --- addressing -------------------------------------------------------
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    # --- operations -------------------------------------------------------
+
+    def load(self, fingerprint: str) -> Optional[ArrayCharacterization]:
+        """The cached characterization, or ``None`` on miss.
+
+        Corrupt or schema-mismatched entries count as misses; they are left
+        in place (a corrupt file is overwritten by the next store).
+        """
+        path = self.path_for(fingerprint)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != self.schema_tag:
+            self.misses += 1
+            return None
+        try:
+            array = ArrayCharacterization.from_dict(payload["result"])
+        except (ReproError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return array
+
+    def store(self, fingerprint: str, array: ArrayCharacterization) -> None:
+        """Persist one characterization atomically."""
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": self.schema_tag,
+            "fingerprint": fingerprint,
+            "result": array.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def __contains__(self, fingerprint: str) -> bool:
+        """Whether an entry *file* exists (any schema version, unvalidated).
+
+        Use :meth:`load` to know whether the entry is actually usable.
+        """
+        return self.path_for(fingerprint).exists()
+
+    def fingerprints(self) -> Iterator[str]:
+        """Every fingerprint currently stored (any schema version)."""
+        for entry in sorted(self.root.glob("??/*.json")):
+            yield entry.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.fingerprints())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for entry in self.root.glob("??/*.json"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}

@@ -1,0 +1,276 @@
+"""Chunked parallel execution of sweep work.
+
+Characterizing one design point is independent of every other point, so a
+sweep fans out naturally: points are split into chunks (amortizing
+pickling and task dispatch over the pool), each chunk runs in a worker
+process, and results are reassembled into the sweep's deterministic
+order regardless of completion order.  ``workers=1`` bypasses the pool
+entirely and runs the identical code path serially, so parallel and
+serial sweeps produce identical results by construction.
+
+Worker failures are data, not crashes: a point whose characterization
+raises a framework error comes back as a failure record, and the caller
+decides (via ``on_error``) whether to abort the sweep or skip the point
+and keep going.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cells.base import CellTechnology
+from repro.errors import CharacterizationError, ReproError
+from repro.nvsim import characterize
+from repro.nvsim.result import ArrayCharacterization, OptimizationTarget
+from repro.runtime.cache import CharacterizationCache
+from repro.runtime.fingerprint import SCHEMA_TAG, point_fingerprint
+from repro.runtime.telemetry import (
+    CACHED,
+    COMPLETED,
+    FAILED,
+    ProgressEvent,
+    SweepTelemetry,
+)
+
+#: Target number of chunks per worker; >1 so a slow chunk doesn't leave
+#: the rest of the pool idle at the tail of the sweep.
+_CHUNKS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One characterization request: a cell plus its array provisioning."""
+
+    cell: CellTechnology
+    capacity_bytes: int
+    node_nm: int
+    target: OptimizationTarget
+    access_bits: int = 64
+    bits_per_cell: int = 1
+
+    @property
+    def label(self) -> str:
+        mb = self.capacity_bytes / (1024 * 1024)
+        return f"{self.cell.name}@{mb:g}MB/{self.target.value}"
+
+    def fingerprint(self, schema_tag: str = SCHEMA_TAG) -> str:
+        return point_fingerprint(
+            self.cell,
+            self.capacity_bytes,
+            self.node_nm,
+            self.target,
+            self.access_bits,
+            self.bits_per_cell,
+            schema_tag=schema_tag,
+        )
+
+    def characterize(self) -> ArrayCharacterization:
+        return characterize(
+            self.cell,
+            self.capacity_bytes,
+            node_nm=self.node_nm,
+            optimization_target=self.target,
+            access_bits=self.access_bits,
+            bits_per_cell=self.bits_per_cell,
+        )
+
+
+def sweep_points(spec) -> List[SweepPoint]:
+    """Expand a :class:`~repro.core.engine.SweepSpec` into ordered points.
+
+    The order matches the engine's historical serial iteration (cell,
+    capacity, target), which fixes the row order of every result table.
+    """
+    points: List[SweepPoint] = []
+    for cell in spec.cells:
+        node = spec.node_nm
+        if not cell.tech_class.is_nonvolatile:
+            node = spec.sram_node_nm
+        for capacity in spec.capacities_bytes:
+            for target in spec.optimization_targets:
+                points.append(
+                    SweepPoint(
+                        cell=cell,
+                        capacity_bytes=capacity,
+                        node_nm=node,
+                        target=target,
+                        access_bits=spec.access_bits,
+                        bits_per_cell=spec.bits_per_cell,
+                    )
+                )
+    return points
+
+
+# --- generic chunked map ---------------------------------------------------
+
+
+def _chunked(
+    indexed: Sequence[Tuple[int, Any]], chunksize: int
+) -> List[List[Tuple[int, Any]]]:
+    return [
+        list(indexed[start : start + chunksize])
+        for start in range(0, len(indexed), chunksize)
+    ]
+
+
+def _default_chunksize(n_items: int, workers: int) -> int:
+    return max(1, math.ceil(n_items / (workers * _CHUNKS_PER_WORKER)))
+
+
+def _apply_chunk(payload):
+    """Pool worker: apply ``fn`` to every indexed item of one chunk."""
+    fn, chunk = payload
+    return [(index, fn(item)) for index, item in chunk]
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    *,
+    workers: int = 1,
+    chunksize: Optional[int] = None,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+) -> List[Any]:
+    """Order-preserving map over a process pool.
+
+    ``fn`` must be a picklable module-level callable.  With ``workers=1``
+    (or a single item) this is a plain in-process loop.  ``on_result`` is
+    called in the parent process as each item finishes — in completion
+    order, not item order — for live progress reporting.
+    """
+    materialized = list(items)
+    if workers <= 1 or len(materialized) <= 1:
+        results = []
+        for index, item in enumerate(materialized):
+            value = fn(item)
+            results.append(value)
+            if on_result is not None:
+                on_result(index, value)
+        return results
+    chunksize = chunksize or _default_chunksize(len(materialized), workers)
+    chunks = _chunked(list(enumerate(materialized)), chunksize)
+    results: List[Any] = [None] * len(materialized)
+    with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+        futures = [pool.submit(_apply_chunk, (fn, chunk)) for chunk in chunks]
+        for future in as_completed(futures):
+            for index, value in future.result():
+                results[index] = value
+                if on_result is not None:
+                    on_result(index, value)
+    return results
+
+
+# --- characterization fan-out ---------------------------------------------
+
+
+def _characterize_chunk(chunk):
+    """Pool worker: characterize one chunk of indexed points.
+
+    Framework errors are returned as failure records so one infeasible
+    point cannot kill the pool; programming errors still propagate.
+    """
+    out = []
+    for index, point in chunk:
+        try:
+            out.append((index, True, point.characterize()))
+        except ReproError as exc:
+            out.append((index, False, str(exc)))
+    return out
+
+
+def characterize_points(
+    points: Sequence[SweepPoint],
+    *,
+    workers: int = 1,
+    cache: Optional[CharacterizationCache] = None,
+    memory: Optional[dict] = None,
+    on_error: str = "raise",
+    telemetry: Optional[SweepTelemetry] = None,
+    chunksize: Optional[int] = None,
+) -> List[Optional[ArrayCharacterization]]:
+    """Characterize every point, in order, using every cache available.
+
+    Returns one entry per point: the characterization, or ``None`` for a
+    point that failed under ``on_error="skip"``.  Lookup order is the
+    in-process ``memory`` dict, then the on-disk ``cache``; fresh results
+    are written back to both.  Duplicate points are characterized once.
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+    telemetry = telemetry if telemetry is not None else SweepTelemetry()
+    memory = memory if memory is not None else {}
+    total = len(points)
+    results: List[Optional[ArrayCharacterization]] = [None] * total
+
+    pending_by_fp: dict[str, List[int]] = {}
+    fingerprints: List[str] = []
+    for index, point in enumerate(points):
+        fp = point.fingerprint()
+        fingerprints.append(fp)
+        if fp in memory:
+            results[index] = memory[fp]
+            telemetry.emit(ProgressEvent(
+                CACHED, point.label, index, total, source="memory"))
+            continue
+        if fp in pending_by_fp:
+            pending_by_fp[fp].append(index)
+            continue
+        array = cache.load(fp) if cache is not None else None
+        if array is not None:
+            memory[fp] = array
+            results[index] = array
+            telemetry.emit(ProgressEvent(
+                CACHED, point.label, index, total, source="disk"))
+            continue
+        pending_by_fp[fp] = [index]
+
+    def _record_success(first_index: int, array: ArrayCharacterization) -> None:
+        fp = fingerprints[first_index]
+        memory[fp] = array
+        if cache is not None:
+            cache.store(fp, array)
+        for nth, index in enumerate(pending_by_fp[fp]):
+            results[index] = array
+            kind = COMPLETED if nth == 0 else CACHED
+            telemetry.emit(ProgressEvent(
+                kind, points[index].label, index, total,
+                source="" if nth == 0 else "memory"))
+
+    def _record_failure(first_index: int, message: str) -> None:
+        for index in pending_by_fp[fingerprints[first_index]]:
+            telemetry.emit(ProgressEvent(
+                FAILED, points[index].label, index, total, error=message))
+        if on_error == "raise":
+            raise CharacterizationError(
+                f"{points[first_index].label}: {message}")
+
+    pending = [(indices[0], points[indices[0]])
+               for indices in pending_by_fp.values()]
+
+    if workers <= 1 or len(pending) <= 1:
+        for index, point in pending:
+            try:
+                _record_success(index, point.characterize())
+            except ReproError as exc:
+                _record_failure(index, str(exc))
+        return results
+
+    chunksize = chunksize or _default_chunksize(len(pending), workers)
+    chunks = _chunked(pending, chunksize)
+    with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+        futures = [pool.submit(_characterize_chunk, chunk) for chunk in chunks]
+        try:
+            for future in as_completed(futures):
+                for index, ok, payload in future.result():
+                    if ok:
+                        _record_success(index, payload)
+                    else:
+                        _record_failure(index, payload)
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+    return results

@@ -1,0 +1,83 @@
+"""Stable fingerprints for characterization work.
+
+A sweep point is fully determined by the cell definition plus the array
+provisioning knobs (capacity, node, optimization target, access width,
+bits per cell).  :func:`point_fingerprint` hashes a canonical JSON
+rendering of exactly those inputs, so the same design point gets the same
+key across processes, runs, and machines — unlike the identity-based
+tuple key the engine used before, which changed whenever the same cell
+was reconstructed.
+
+The fingerprint embeds :data:`SCHEMA_TAG`.  Bumping the tag (whenever the
+characterization model or the serialized result format changes
+incompatibly) reidentifies every point, so stale on-disk entries are
+silently invalidated rather than deserialized into wrong results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+from repro.cells.base import CellTechnology
+from repro.cells.export import cell_to_dict
+from repro.nvsim.result import OptimizationTarget
+
+#: Version tag of the characterization model + cache payload format.
+#: Bump whenever either changes in a way that invalidates stored results.
+SCHEMA_TAG = "array-cache-v1"
+
+
+def canonical_json(payload: Any) -> str:
+    """Render a JSON-able payload deterministically (sorted keys, no spaces).
+
+    Floats serialize via ``repr``, which is exact and stable across
+    platforms for IEEE-754 doubles, so equal inputs always produce equal
+    text.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint_payload(payload: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest of a canonical payload."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def point_payload(
+    cell: CellTechnology,
+    capacity_bytes: int,
+    node_nm: int,
+    target: OptimizationTarget,
+    access_bits: int,
+    bits_per_cell: int,
+    schema_tag: str = SCHEMA_TAG,
+) -> dict[str, Any]:
+    """The canonical description of one characterization request."""
+    return {
+        "schema": schema_tag,
+        "cell": cell_to_dict(cell),
+        "capacity_bytes": int(capacity_bytes),
+        "node_nm": int(node_nm),
+        "target": target.value,
+        "access_bits": int(access_bits),
+        "bits_per_cell": int(bits_per_cell),
+    }
+
+
+def point_fingerprint(
+    cell: CellTechnology,
+    capacity_bytes: int,
+    node_nm: int,
+    target: OptimizationTarget,
+    access_bits: int,
+    bits_per_cell: int,
+    schema_tag: str = SCHEMA_TAG,
+) -> str:
+    """Stable content key for one (cell, provisioning) design point."""
+    return fingerprint_payload(
+        point_payload(
+            cell, capacity_bytes, node_nm, target, access_bits, bits_per_cell,
+            schema_tag=schema_tag,
+        )
+    )

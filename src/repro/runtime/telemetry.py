@@ -1,0 +1,91 @@
+"""Sweep progress telemetry.
+
+Long sweeps should report what happened to every point — characterized,
+served from cache, or failed — instead of dying on the first
+:class:`~repro.errors.CharacterizationError`.  The executor emits one
+:class:`ProgressEvent` per point; :class:`SweepTelemetry` counts them,
+logs them on the ``repro.runtime`` logger, and forwards them to an
+optional user callback (a progress bar, a dashboard, a CI annotator).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+logger = logging.getLogger("repro.runtime")
+
+#: Event kinds, in the order a point can experience them.
+COMPLETED = "completed"
+CACHED = "cached"
+FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One sweep point's outcome."""
+
+    kind: str  # COMPLETED | CACHED | FAILED
+    label: str  # human-readable point label
+    index: int  # position in the sweep's deterministic order
+    total: int  # points in this phase
+    phase: str = "characterize"  # "characterize" | "evaluate"
+    source: str = ""  # for CACHED: "memory" | "disk"
+    error: str = ""  # for FAILED: the error message
+
+    def describe(self) -> str:
+        extra = ""
+        if self.kind == CACHED and self.source:
+            extra = f" [{self.source}]"
+        elif self.kind == FAILED:
+            extra = f": {self.error}"
+        return (
+            f"{self.phase} {self.index + 1}/{self.total} "
+            f"{self.kind} {self.label}{extra}"
+        )
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+@dataclass
+class SweepTelemetry:
+    """Aggregates progress events for one sweep run."""
+
+    callback: Optional[ProgressCallback] = None
+    completed: int = 0  # characterize-phase points computed fresh
+    cached: int = 0
+    failed: int = 0
+    evaluated: int = 0  # evaluate-phase (array x traffic) fan-out units
+    failures: List[ProgressEvent] = field(default_factory=list)
+
+    def emit(self, event: ProgressEvent) -> None:
+        if event.kind == COMPLETED and event.phase == "evaluate":
+            self.evaluated += 1
+            logger.debug("%s", event.describe())
+        elif event.kind == COMPLETED:
+            self.completed += 1
+            logger.debug("%s", event.describe())
+        elif event.kind == CACHED:
+            self.cached += 1
+            logger.debug("%s", event.describe())
+        elif event.kind == FAILED:
+            self.failed += 1
+            self.failures.append(event)
+            logger.warning("%s", event.describe())
+        if self.callback is not None:
+            self.callback(event)
+
+    @property
+    def total(self) -> int:
+        return self.completed + self.cached + self.failed
+
+    def summary(self) -> str:
+        text = (
+            f"{self.total} points: {self.completed} characterized, "
+            f"{self.cached} cached, {self.failed} failed"
+        )
+        if self.evaluated:
+            text += f"; {self.evaluated} arrays evaluated"
+        return text

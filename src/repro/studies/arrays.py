@@ -30,6 +30,8 @@ SRAM_NODE_NM = 16
 def optimization_target_study(
     capacity_bytes: int = mb(4),
     technologies=STUDY_TECHNOLOGIES,
+    workers: int = 1,
+    cache_dir=None,
 ) -> ResultTable:
     """Figure 3: array metrics under various optimization targets."""
     cells = study_cells(tuple(technologies)) + [sram_cell(SRAM_NODE_NM)]
@@ -40,7 +42,7 @@ def optimization_target_study(
         sram_node_nm=SRAM_NODE_NM,
         optimization_targets=DEFAULT_TARGET_SWEEP,
     )
-    return DSEEngine().run(spec)
+    return DSEEngine(workers=workers, cache_dir=cache_dir).run(spec)
 
 
 @dataclass(frozen=True)
@@ -114,7 +116,11 @@ def tentpole_validation(
     return results
 
 
-def dnn_buffer_arrays(capacity_bytes: int = mb(2)) -> ResultTable:
+def dnn_buffer_arrays(
+    capacity_bytes: int = mb(2),
+    workers: int = 1,
+    cache_dir=None,
+) -> ResultTable:
     """Figure 5: 2 MB arrays provisioned to replace the NVDLA buffer."""
     cells = study_cells(STUDY_TECHNOLOGIES) + [sram_cell(SRAM_NODE_NM)]
     spec = SweepSpec(
@@ -125,10 +131,14 @@ def dnn_buffer_arrays(capacity_bytes: int = mb(2)) -> ResultTable:
         optimization_targets=(OptimizationTarget.READ_EDP,),
         access_bits=512,
     )
-    return DSEEngine().run(spec)
+    return DSEEngine(workers=workers, cache_dir=cache_dir).run(spec)
 
 
-def llc_arrays(capacity_bytes: int = mb(16)) -> ResultTable:
+def llc_arrays(
+    capacity_bytes: int = mb(16),
+    workers: int = 1,
+    cache_dir=None,
+) -> ResultTable:
     """Figure 10: 16 MB LLC-candidate arrays (64 B line access)."""
     cells = study_cells(STUDY_TECHNOLOGIES) + [sram_cell(SRAM_NODE_NM)]
     spec = SweepSpec(
@@ -142,4 +152,4 @@ def llc_arrays(capacity_bytes: int = mb(16)) -> ResultTable:
         ),
         access_bits=512,
     )
-    return DSEEngine().run(spec)
+    return DSEEngine(workers=workers, cache_dir=cache_dir).run(spec)

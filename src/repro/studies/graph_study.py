@@ -30,6 +30,8 @@ def graph_study(
     points_per_axis: int = 4,
     include_kernels: bool = True,
     capacity_bytes: int = SCRATCHPAD_BYTES,
+    workers: int = 1,
+    cache_dir=None,
 ) -> ResultTable:
     """Figure 8: generic graph traffic (+ BFS kernel points) on 8 MB arrays."""
     traffic = graph_envelope_sweep(points_per_axis=points_per_axis)
@@ -45,7 +47,7 @@ def graph_study(
         optimization_targets=(OptimizationTarget.READ_EDP,),
         access_bits=64,
     )
-    return DSEEngine().run(spec)
+    return DSEEngine(workers=workers, cache_dir=cache_dir).run(spec)
 
 
 def lowest_power_technology(

@@ -19,7 +19,11 @@ from repro.units import mb
 LLC_BYTES = mb(16)
 
 
-def llc_study(capacity_bytes: int = LLC_BYTES) -> ResultTable:
+def llc_study(
+    capacity_bytes: int = LLC_BYTES,
+    workers: int = 1,
+    cache_dir=None,
+) -> ResultTable:
     """Figure 9: SPEC2017 traffic against 16 MB LLC candidates."""
     cells = study_cells(STUDY_TECHNOLOGIES) + [sram_cell(SRAM_NODE_NM)]
     spec = SweepSpec(
@@ -31,7 +35,7 @@ def llc_study(capacity_bytes: int = LLC_BYTES) -> ResultTable:
         optimization_targets=(OptimizationTarget.READ_EDP,),
         access_bits=512,
     )
-    return DSEEngine().run(spec)
+    return DSEEngine(workers=workers, cache_dir=cache_dir).run(spec)
 
 
 def feasible(table: ResultTable) -> ResultTable:

@@ -17,6 +17,7 @@ FAST_EXAMPLES = [
     "custom_cell_sweep.py",
     "fault_injection_tool.py",
     "heterogeneous_hierarchy.py",
+    "parallel_sweep.py",
 ]
 
 
@@ -38,4 +39,5 @@ def test_all_examples_present():
         "custom_cell_sweep.py",
         "fault_injection_tool.py",
         "heterogeneous_hierarchy.py",
+        "parallel_sweep.py",
     } <= names
