@@ -6,7 +6,7 @@ streams with the cache simulator and checking where the assumed what-if
 points sit relative to measured behaviour.
 """
 
-from repro.cachesim import zipfian_stream
+from repro.cachesim import zipfian_batch
 from repro.core import coalescing_factor
 from repro.units import kb, mb
 
@@ -14,12 +14,10 @@ from repro.units import kb, mb
 def _measure():
     results = {}
     for label, skew in (("low-locality", 1.05), ("medium", 1.3), ("high", 1.9)):
-        addresses = [
-            a for a, _ in zipfian_stream(
-                40_000, working_set_bytes=mb(2), write_fraction=1.0,
-                skew=skew, seed=11,
-            )
-        ]
+        addresses, _ = zipfian_batch(
+            40_000, working_set_bytes=mb(2), write_fraction=1.0,
+            skew=skew, seed=11,
+        )
         results[label] = {
             f"{size_kb}KB": coalescing_factor(addresses, buffer_lines=size_kb * 16)
             for size_kb in (4, 16, 64)

@@ -9,7 +9,7 @@ Two forward-looking explorations the paper's conclusion motivates:
 Run:  python examples/heterogeneous_hierarchy.py
 """
 
-from repro.cachesim import zipfian_stream
+from repro.cachesim import zipfian_batch
 from repro.cells import TechnologyClass, tentpoles_for
 from repro.core import coalescing_factor, evaluate, evaluate_hierarchy
 from repro.nvsim import OptimizationTarget, characterize, stacking_sweep
@@ -33,9 +33,9 @@ print(f"\nFeFET alone: power={baseline.total_power * 1e3:.3f} mW, "
 
 print("\nSTT front buffer sizing (coalescing measured on a zipfian write stream):")
 for buffer_kb in (32, 64, 256):
-    addresses = [a for a, _ in zipfian_stream(
+    addresses, _ = zipfian_batch(
         30_000, working_set_bytes=mb(2), write_fraction=1.0, skew=1.3
-    )]
+    )
     lines = buffer_kb * 1024 // 64
     measured = coalescing_factor(addresses, buffer_lines=lines)
     front = characterize(

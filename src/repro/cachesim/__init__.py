@@ -1,5 +1,21 @@
-"""Cache-simulation substrate: caches, address streams, LLC trace derivation."""
+"""Cache-simulation substrate: caches, address streams, LLC trace derivation.
 
+Two simulation APIs coexist:
+
+* the reference one-access-at-a-time :class:`Cache` (exact LRU semantics,
+  used as ground truth), and
+* the vectorized batch engine, :func:`repro.cachesim.batch.simulate_batch`,
+  which replays a whole ``(addresses, is_write)`` array pair at once with
+  identical :class:`CacheStats` — the fast path behind
+  :func:`simulate_llc_traffic` and the write-buffer coalescing study.
+
+Streams likewise come in batch form (``sequential_batch`` /
+``strided_batch`` / ``zipfian_batch`` / :meth:`WorkloadModel.batch`,
+returning numpy arrays in one shot) and as the original per-access
+iterators, which are thin wrappers over the batch form.
+"""
+
+from repro.cachesim.batch import BatchResult, simulate_batch
 from repro.cachesim.cache import Cache, CacheConfig, CacheStats
 from repro.cachesim.llc import (
     SYNTHETIC_SUITE,
@@ -9,18 +25,26 @@ from repro.cachesim.llc import (
 )
 from repro.cachesim.streams import (
     WorkloadModel,
+    sequential_batch,
     sequential_stream,
+    strided_batch,
     strided_stream,
+    zipfian_batch,
     zipfian_stream,
 )
 
 __all__ = [
+    "BatchResult",
     "Cache",
     "CacheConfig",
     "CacheStats",
     "WorkloadModel",
+    "simulate_batch",
+    "sequential_batch",
     "sequential_stream",
+    "strided_batch",
     "strided_stream",
+    "zipfian_batch",
     "zipfian_stream",
     "LLCTrace",
     "simulate_llc_traffic",

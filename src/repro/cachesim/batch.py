@@ -1,0 +1,429 @@
+"""Vectorized batch cache simulation.
+
+The reference :class:`~repro.cachesim.cache.Cache` replays one access at a
+time through Python dicts — exact, but the dominant serial cost of the LLC
+and write-buffer studies.  This module computes the same set-associative
+LRU statistics over a whole ``(addresses, is_write)`` array pair at once:
+
+* :func:`simulate_batch` partitions the accesses by set index and replays
+  all sets simultaneously with numpy ("matrix LRU": one array row of tags
+  and dirty bits per set, one vectorized step per *round* of per-set
+  accesses).  Consecutive repeat accesses to the same line are collapsed
+  first — they are guaranteed hits — so heavily skewed streams need few
+  rounds.
+* Fully-associative write-only streams (the write-buffer coalescing case,
+  where there is a single set and the matrix walk would degenerate to a
+  serial scan) dispatch to a closed-form LRU stack-distance path: an
+  access hits iff the number of distinct lines touched since its previous
+  access is below the associativity, and every eviction is dirty.
+
+Both paths produce :class:`~repro.cachesim.cache.CacheStats` that match
+the reference simulator field-for-field (see ``tests/test_cachesim_parity``
+for the property-based parity suite), plus per-access hit/eviction flags
+so hierarchies can be chained (L2 misses and write-backs feed the LLC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cachesim.cache import CacheConfig, CacheStats
+from repro.errors import ConfigError
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one batch replay: aggregate counters + per-access flags."""
+
+    config: CacheConfig
+    stats: CacheStats
+    hit: np.ndarray  # bool, per access: served without going to the next level
+    eviction: np.ndarray  # bool, per access: this miss evicted a victim line
+    dirty_eviction: np.ndarray  # bool, per access: the victim was dirty
+    dirty_lines: int  # dirty lines still resident after the replay
+
+    @property
+    def n_accesses(self) -> int:
+        return int(self.hit.size)
+
+
+def simulate_batch(
+    config: CacheConfig,
+    addresses,
+    is_write=None,
+) -> BatchResult:
+    """Replay a whole address array through a set-associative LRU cache.
+
+    ``addresses`` and ``is_write`` are 1-D arrays (or sequences) of equal
+    length; ``is_write=None`` means all reads.  Returns counters identical
+    to ``Cache(config).run(zip(addresses, is_write))`` plus per-access
+    outcome flags.
+    """
+    addresses = np.ascontiguousarray(addresses, dtype=np.int64)
+    if addresses.ndim != 1:
+        raise ConfigError("addresses must be one-dimensional")
+    n = addresses.size
+    if is_write is None:
+        is_write = np.zeros(n, dtype=bool)
+    else:
+        is_write = np.ascontiguousarray(is_write, dtype=bool)
+    if is_write.shape != addresses.shape:
+        raise ConfigError("addresses and is_write must have the same length")
+    if n and int(addresses.min()) < 0:
+        raise ConfigError("addresses must be non-negative")
+
+    if n == 0:
+        empty = np.zeros(0, dtype=bool)
+        return BatchResult(config, CacheStats(), empty, empty.copy(),
+                           empty.copy(), 0)
+
+    line_addr = addresses // config.line_bytes
+    set_idx = line_addr % config.n_sets
+    tag = line_addr // config.n_sets
+
+    if config.n_sets == 1 and bool(is_write.all()):
+        return _write_only_fully_associative(config, tag, is_write)
+    return _matrix_lru(config, set_idx, tag, is_write)
+
+
+# --- general path: all sets stepped together ------------------------------
+
+#: A vectorized round must cover at least this many sets to be worth the
+#: numpy dispatch overhead; narrower rounds (a few hot sets with long
+#: access sequences — or a small cache altogether) finish on a serial
+#: dict replay instead, which matches reference-simulator speed.
+_TAIL_MIN_WIDTH = 48
+
+
+def _matrix_lru(
+    config: CacheConfig,
+    set_idx: np.ndarray,
+    tag: np.ndarray,
+    is_write: np.ndarray,
+) -> BatchResult:
+    n = set_idx.size
+    assoc = config.associativity
+
+    # Group accesses by set, keeping each set's accesses in time order.
+    order = np.argsort(set_idx, kind="stable")
+    s_o = set_idx[order]
+    t_o = tag[order]
+    w_o = is_write[order]
+
+    # Collapse runs of consecutive same-line accesses within a set: only
+    # the first access of a run can miss, the rest are guaranteed hits,
+    # and the run leaves the line dirty iff any access in it wrote.
+    new_run = np.empty(n, dtype=bool)
+    new_run[0] = True
+    new_run[1:] = (s_o[1:] != s_o[:-1]) | (t_o[1:] != t_o[:-1])
+    run_starts = np.flatnonzero(new_run)
+    r_set = s_o[run_starts]
+    r_tag = t_o[run_starts]
+    r_dirty_w = np.logical_or.reduceat(w_o, run_starts)
+    m = run_starts.size
+
+    # Within-set rank of each run; round k replays every set's k-th run.
+    set_start = np.empty(m, dtype=bool)
+    set_start[0] = True
+    set_start[1:] = r_set[1:] != r_set[:-1]
+    set_firsts = np.flatnonzero(set_start)
+    runs_per_set = np.diff(np.append(set_firsts, m))
+    rank = np.arange(m) - np.repeat(set_firsts, runs_per_set)
+    round_order = np.argsort(rank, kind="stable")
+    widths = np.bincount(rank)
+    round_offsets = np.concatenate(([0], np.cumsum(widths)))
+
+    # Dense state only for the sets that actually appear.  Tags fit int32
+    # for any realistic geometry; fall back to int64 rather than truncate.
+    active_sets = r_set[set_firsts]
+    n_active = active_sets.size
+    dense = np.cumsum(set_start) - 1
+    tag_dtype = np.int32 if int(r_tag.max()) < 2**31 else np.int64
+    r_tag = r_tag.astype(tag_dtype, copy=False)
+    tags_state = np.full((n_active, assoc), -1, dtype=tag_dtype)
+    dirty_state = np.zeros((n_active, assoc), dtype=bool)
+    # Recency stamps: larger = more recent; negative initials make empty
+    # ways fill left-to-right before any eviction.
+    stamp_state = np.tile(
+        np.arange(-assoc, 0, dtype=np.int32), (n_active, 1))
+
+    run_hit = np.empty(m, dtype=bool)
+    run_evict = np.empty(m, dtype=bool)
+    run_dirty_evict = np.empty(m, dtype=bool)
+
+    # Rounds are non-increasing in width; hand the narrow tail to the
+    # serial fallback.
+    n_rounds = widths.size
+    if widths[-1] < _TAIL_MIN_WIDTH:
+        n_rounds = int(np.argmax(widths < _TAIL_MIN_WIDTH))
+    bulk = round_offsets[n_rounds]
+
+    # Pre-gather the bulk rounds into round order so the hot loop works on
+    # contiguous slices instead of fancy-indexed copies.
+    o_rows = dense[round_order[:bulk]]
+    o_tag = r_tag[round_order[:bulk]]
+    o_dw = r_dirty_w[round_order[:bulk]]
+    o_hit = np.empty(bulk, dtype=bool)
+    o_evict = np.empty(bulk, dtype=bool)
+    o_dirty_evict = np.empty(bulk, dtype=bool)
+    lanes = np.arange(int(widths[0]) if widths.size else 0)
+
+    for k in range(n_rounds):
+        a, b = round_offsets[k], round_offsets[k + 1]
+        rows = o_rows[a:b]
+        t = o_tag[a:b]
+        rows_t = tags_state[rows]
+
+        pos = (rows_t == t[:, None]).argmax(axis=1)
+        h = rows_t[lanes[:b - a], pos] == t
+        way = np.where(h, pos, stamp_state[rows].argmin(axis=1))
+        old_d = dirty_state[rows, way]
+        ev = ~h & (rows_t[lanes[:b - a], way] != -1)
+
+        tags_state[rows, way] = t
+        dirty_state[rows, way] = (h & old_d) | o_dw[a:b]
+        stamp_state[rows, way] = k
+
+        o_hit[a:b] = h
+        o_evict[a:b] = ev
+        o_dirty_evict[a:b] = ev & old_d
+
+    run_hit[round_order[:bulk]] = o_hit
+    run_evict[round_order[:bulk]] = o_evict
+    run_dirty_evict[round_order[:bulk]] = o_dirty_evict
+
+    dirty_extra = 0
+    if n_rounds < widths.size:
+        dirty_extra = _serial_tail(
+            np.sort(round_order[bulk:]),
+            dense, r_tag, r_dirty_w, assoc,
+            tags_state, dirty_state, stamp_state,
+            run_hit, run_evict, run_dirty_evict,
+        )
+
+    # Scatter run outcomes back to per-access flags (collapsed followers
+    # are hits with no eviction).
+    hit_sorted = np.ones(n, dtype=bool)
+    evict_sorted = np.zeros(n, dtype=bool)
+    dirty_evict_sorted = np.zeros(n, dtype=bool)
+    hit_sorted[run_starts] = run_hit
+    evict_sorted[run_starts] = run_evict
+    dirty_evict_sorted[run_starts] = run_dirty_evict
+
+    hit = np.empty(n, dtype=bool)
+    eviction = np.empty(n, dtype=bool)
+    dirty_eviction = np.empty(n, dtype=bool)
+    hit[order] = hit_sorted
+    eviction[order] = evict_sorted
+    dirty_eviction[order] = dirty_evict_sorted
+
+    stats = _stats_from_flags(is_write, hit, eviction, dirty_eviction)
+    return BatchResult(config, stats, hit, eviction, dirty_eviction,
+                       int(dirty_state.sum()) + dirty_extra)
+
+
+def _serial_tail(
+    tail: np.ndarray,
+    dense: np.ndarray,
+    r_tag: np.ndarray,
+    r_dirty_w: np.ndarray,
+    assoc: int,
+    tags_state: np.ndarray,
+    dirty_state: np.ndarray,
+    stamp_state: np.ndarray,
+    run_hit: np.ndarray,
+    run_evict: np.ndarray,
+    run_dirty_evict: np.ndarray,
+) -> int:
+    """Finish the few remaining hot-set runs with the reference dict walk.
+
+    ``tail`` holds run indices sorted ascending, i.e. grouped by set in
+    time order; sets are mutually independent, so replay order across sets
+    does not matter.  Touched rows are lifted out of the matrix state into
+    ``{tag: dirty}`` dicts ordered LRU-first (exactly the reference
+    :class:`~repro.cachesim.cache.Cache` layout), and their matrix dirty
+    bits are cleared so the caller can sum resident dirty lines from both
+    representations.  Returns the dirty-line count held by the dicts.
+    """
+    lifted: dict[int, dict[int, bool]] = {}
+    hits: list[bool] = []
+    evictions: list[bool] = []
+    dirty_evictions: list[bool] = []
+    for row, t, dw in zip(dense[tail].tolist(), r_tag[tail].tolist(),
+                          r_dirty_w[tail].tolist()):
+        lines = lifted.get(row)
+        if lines is None:
+            lines = {}
+            for way in np.argsort(stamp_state[row], kind="stable").tolist():
+                if tags_state[row, way] != -1:
+                    lines[int(tags_state[row, way])] = bool(
+                        dirty_state[row, way])
+            lifted[row] = lines
+            dirty_state[row] = False
+        dirty = lines.pop(t, None)
+        if dirty is not None:
+            lines[t] = dirty or dw
+            hits.append(True)
+            evictions.append(False)
+            dirty_evictions.append(False)
+            continue
+        hits.append(False)
+        evicted = len(lines) >= assoc
+        victim_dirty = False
+        if evicted:
+            victim_dirty = lines.pop(next(iter(lines)))
+        evictions.append(evicted)
+        dirty_evictions.append(victim_dirty)
+        lines[t] = dw
+    run_hit[tail] = hits
+    run_evict[tail] = evictions
+    run_dirty_evict[tail] = dirty_evictions
+    return sum(1 for lines in lifted.values()
+               for dirty in lines.values() if dirty)
+
+
+# --- fully-associative write-only path (write-buffer coalescing) ----------
+
+
+def _write_only_fully_associative(
+    config: CacheConfig,
+    tag: np.ndarray,
+    is_write: np.ndarray,
+) -> BatchResult:
+    n = tag.size
+    assoc = config.associativity
+
+    # Previous occurrence of each line (-1 for compulsory first touches).
+    order = np.argsort(tag, kind="stable")
+    t_sorted = tag[order]
+    prev_sorted = np.full(n, -1, dtype=np.int64)
+    same = t_sorted[1:] == t_sorted[:-1]
+    prev_sorted[1:][same] = order[:-1][same]
+    prev = np.empty(n, dtype=np.int64)
+    prev[order] = prev_sorted
+
+    # LRU stack property: access i hits iff the number of distinct lines
+    # touched strictly between its previous occurrence p and i is < assoc.
+    # Every such distinct line contributes exactly one access j in (p, i)
+    # whose own previous occurrence is <= p, so the distance is
+    #   #{j < i : prev[j] <= prev[i]} - prev[i] - 1
+    # (every j <= p trivially satisfies prev[j] < j <= p).
+    leq_before = _count_prefix_leq(prev)
+    distance = leq_before - prev - 1
+    hit = (prev >= 0) & (distance < assoc)
+
+    # Write-allocate + write-only stream: every resident line is dirty and
+    # every eviction writes back.  Before the buffer first fills, misses
+    # are exactly the compulsory first touches, so occupancy at access i
+    # is min(#distinct lines before i, assoc).
+    first = prev < 0
+    distinct_before = np.cumsum(first) - first
+    eviction = ~hit & (distinct_before >= assoc)
+    dirty_lines = int(min(int(first.sum()), assoc))
+
+    stats = _stats_from_flags(is_write, hit, eviction, eviction)
+    return BatchResult(config, stats, hit, eviction, eviction.copy(),
+                       dirty_lines)
+
+
+def _count_prefix_leq(values: np.ndarray) -> np.ndarray:
+    """``out[i] = #{j < i : values[j] <= values[i]}``, fully vectorized.
+
+    Bottom-up mergesort with pair counting: blocks are kept sorted; at
+    each level every left half is merged with its right half, and each
+    right-half element picks up the number of left-half elements ``<=``
+    it.  Each ordered index pair is counted at exactly the level where the
+    two indices first share a block, so the counts sum to the answer.
+
+    The whole level is processed with two ``searchsorted`` calls by
+    offsetting every block's keys into a disjoint value range, making the
+    concatenation of all sorted blocks globally sorted — no per-block
+    Python loop, ~10 numpy passes per level.
+    """
+    n = values.size
+    if n < 2:
+        return np.zeros(n, dtype=np.int64)
+    n2 = 1 << max(6, (n - 1).bit_length())
+    pad_value = np.iinfo(np.int32).max  # sorts after every real value
+
+    values = np.asarray(values, dtype=np.int64)
+    low = int(values.min())
+    span = int(values.max()) - low + 2  # +1 for the pad slot
+    padded = np.full(n2, pad_value, dtype=np.int64)
+    padded[:n] = values - low  # non-negative, < span - 1
+
+    # Base case: count within 64-wide blocks by brute broadcasting (one
+    # batched pass replaces the six narrowest merge levels), and leave
+    # each block sorted for the merge levels above.
+    base = 64
+    blocks = padded.reshape(-1, base)
+    tri = np.tril(np.ones((base, base), dtype=bool), k=-1)
+    pair_counts = ((blocks[:, :, None] >= blocks[:, None, :]) & tri).sum(axis=2)
+    counts = np.zeros(n2, dtype=np.int64)
+    counts[:] = pair_counts.reshape(-1)
+    block_order = np.argsort(blocks, axis=1, kind="stable")
+    sorted_vals = np.take_along_axis(blocks, block_order, axis=1).reshape(-1)
+    owner = (block_order
+             + np.arange(0, n2, base, dtype=np.int64)[:, None]).reshape(-1)
+
+    half = base
+    while half < n2:
+        width = 2 * half
+        pairs = n2 // width
+        # Offset each block pair into its own value range so every block
+        # stays sorted relative to its neighbours.
+        base = np.repeat(np.arange(pairs, dtype=np.int64) * span, half)
+        left = sorted_vals.reshape(pairs, width)[:, :half].reshape(-1)
+        right = sorted_vals.reshape(pairs, width)[:, half:].reshape(-1)
+        # Pads get each block's top key slot so they sort to the block
+        # tail without straddling into the next block's range.
+        left_keys = np.where(left == pad_value, base + span - 1, left + base)
+        right_keys = np.where(right == pad_value, base + span - 1, right + base)
+
+        in_block = np.arange(n2 // 2, dtype=np.int64) % half
+        block_lo = np.repeat(np.arange(pairs, dtype=np.int64) * half, half)
+        # #left <= right element (ties favour left: side="right").
+        left_leq = np.searchsorted(left_keys, right_keys, side="right") - block_lo
+        # #right strictly < left element (ties favour left: side="left").
+        right_lt = np.searchsorted(right_keys, left_keys, side="left") - block_lo
+
+        right_owner = owner.reshape(pairs, width)[:, half:].reshape(-1)
+        real = right != pad_value
+        # Each original index is a right-half element at most once per
+        # level, so plain fancy indexing accumulates safely.
+        counts[right_owner[real]] += left_leq[real]
+
+        # Stable merge positions for the next level.
+        merged_vals = np.empty(n2, dtype=np.int64)
+        merged_owner = np.empty(n2, dtype=np.int64)
+        left_pos = np.repeat(np.arange(pairs, dtype=np.int64) * width, half) \
+            + in_block + right_lt
+        right_pos = np.repeat(np.arange(pairs, dtype=np.int64) * width, half) \
+            + in_block + left_leq
+        left_owner = owner.reshape(pairs, width)[:, :half].reshape(-1)
+        merged_vals[left_pos] = left
+        merged_owner[left_pos] = left_owner
+        merged_vals[right_pos] = right
+        merged_owner[right_pos] = right_owner
+        sorted_vals = merged_vals
+        owner = merged_owner
+        half = width
+    return counts[:n]
+
+
+def _stats_from_flags(
+    is_write: np.ndarray,
+    hit: np.ndarray,
+    eviction: np.ndarray,
+    dirty_eviction: np.ndarray,
+) -> CacheStats:
+    return CacheStats(
+        read_hits=int(np.count_nonzero(~is_write & hit)),
+        read_misses=int(np.count_nonzero(~is_write & ~hit)),
+        write_hits=int(np.count_nonzero(is_write & hit)),
+        write_misses=int(np.count_nonzero(is_write & ~hit)),
+        evictions=int(np.count_nonzero(eviction)),
+        dirty_evictions=int(np.count_nonzero(dirty_eviction)),
+    )

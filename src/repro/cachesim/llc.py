@@ -5,16 +5,30 @@ numbers; this module shows the same numbers can be *derived*: run a
 parameterized synthetic workload through an L2+LLC hierarchy and read the
 LLC's miss/writeback rates off the counters.  The studies accept traffic
 from either source.
+
+Simulation runs on the vectorized batch engine
+(:mod:`repro.cachesim.batch`): the workload's whole address array goes
+through the L2 at once, and the L2's per-access miss / dirty-writeback
+flags are expanded into the LLC's access stream.  Pass ``cache_dir`` to
+persist regenerated traces in the content-addressed runtime cache
+(:class:`repro.runtime.cache.LLCTraceCache`), keyed by a fingerprint of
+the workload and simulation parameters, so repeated study runs skip
+simulation entirely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
 
-from repro.cachesim.cache import Cache, CacheConfig, CacheStats
+import numpy as np
+
+from repro.cachesim.batch import simulate_batch
+from repro.cachesim.cache import CacheConfig
 from repro.cachesim.streams import WorkloadModel
 from repro.traffic.base import TrafficPattern
-from repro.units import MB, mb
+from repro.units import mb
 
 
 @dataclass(frozen=True)
@@ -26,6 +40,7 @@ class LLCTrace:
     llc_writes: int  # dirty writebacks arriving from L2
     instructions: float  # modeled instruction count
     duration: float  # modeled execution time, seconds
+    llc_hits: int = 0  # LLC lookups served without going to memory
 
     @property
     def read_mpki(self) -> float:
@@ -35,6 +50,11 @@ class LLCTrace:
     def write_mpki(self) -> float:
         return 1000.0 * self.llc_writes / self.instructions
 
+    @property
+    def llc_hit_rate(self) -> float:
+        accesses = self.llc_reads + self.llc_writes
+        return self.llc_hits / accesses if accesses else 0.0
+
     def traffic(self, line_bytes: int = 64) -> TrafficPattern:
         return TrafficPattern.from_totals(
             name=self.name,
@@ -43,6 +63,28 @@ class LLCTrace:
             duration=self.duration,
             access_bytes=line_bytes,
             metadata={"kind": "cachesim-llc"},
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able payload for the persistent trace cache."""
+        return {
+            "name": self.name,
+            "llc_reads": self.llc_reads,
+            "llc_writes": self.llc_writes,
+            "instructions": self.instructions,
+            "duration": self.duration,
+            "llc_hits": self.llc_hits,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "LLCTrace":
+        return cls(
+            name=str(payload["name"]),
+            llc_reads=int(payload["llc_reads"]),
+            llc_writes=int(payload["llc_writes"]),
+            instructions=float(payload["instructions"]),
+            duration=float(payload["duration"]),
+            llc_hits=int(payload.get("llc_hits", 0)),
         )
 
 
@@ -55,6 +97,7 @@ def simulate_llc_traffic(
     clock_hz: float = 4.0e9,
     ipc: float = 2.0,
     seed: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> LLCTrace:
     """Drive a workload through L2 -> LLC and extract LLC traffic.
 
@@ -62,31 +105,65 @@ def simulate_llc_traffic(
     miss in the (private) L2 look up the LLC, and L2 dirty evictions write
     back into it — matching the paper's non-inclusive write-back L2 over an
     inclusive write-back LLC.
-    """
-    l2 = Cache(CacheConfig(capacity_bytes=l2_kb * 1024, associativity=8))
-    llc = Cache(CacheConfig(capacity_bytes=mb(llc_mb), associativity=16))
 
-    llc_reads = 0
-    llc_writes = 0
-    for address, is_write in workload.stream(n_accesses, seed=seed):
-        dirty_before = l2.stats.dirty_evictions
-        hit = l2.access(address, is_write)
-        if not hit:
-            llc.access(address, is_write=False)
-            llc_reads += 1
-        if l2.stats.dirty_evictions > dirty_before:
-            llc.access(address, is_write=True)
-            llc_writes += 1
+    With ``cache_dir`` set, the resulting trace is persisted under a
+    fingerprint of ``(workload, simulation parameters)`` and re-runs load
+    it instead of re-simulating.
+    """
+    cache = fingerprint = None
+    if cache_dir is not None:
+        from repro.runtime.cache import LLCTraceCache
+        from repro.runtime.fingerprint import trace_fingerprint
+
+        cache = LLCTraceCache(cache_dir)
+        fingerprint = trace_fingerprint(
+            workload,
+            n_accesses=n_accesses,
+            l2_kb=l2_kb,
+            llc_mb=llc_mb,
+            instructions_per_access=instructions_per_access,
+            clock_hz=clock_hz,
+            ipc=ipc,
+            seed=seed,
+        )
+        cached = cache.load(fingerprint)
+        if cached is not None:
+            return cached
+
+    addresses, is_write = workload.batch(n_accesses, seed=seed)
+    l2 = simulate_batch(
+        CacheConfig(capacity_bytes=l2_kb * 1024, associativity=8),
+        addresses, is_write,
+    )
+
+    # Expand the L2 outcome flags into the LLC's access stream: each miss
+    # becomes an LLC read of the missing line, immediately followed by a
+    # writeback when that miss evicted a dirty L2 line (dirty evictions
+    # only ever happen on misses).
+    miss_positions = np.flatnonzero(~l2.hit)
+    writeback = l2.dirty_eviction[miss_positions]
+    events_per_miss = 1 + writeback.astype(np.int64)
+    llc_addresses = np.repeat(addresses[miss_positions], events_per_miss)
+    llc_is_write = np.zeros(llc_addresses.size, dtype=bool)
+    llc_is_write[np.cumsum(events_per_miss)[writeback] - 1] = True
+    llc = simulate_batch(
+        CacheConfig(capacity_bytes=mb(llc_mb), associativity=16),
+        llc_addresses, llc_is_write,
+    )
 
     instructions = n_accesses * instructions_per_access
     duration = instructions / (clock_hz * ipc)
-    return LLCTrace(
+    trace = LLCTrace(
         name=workload.name,
-        llc_reads=llc_reads,
-        llc_writes=llc_writes,
+        llc_reads=int(miss_positions.size),
+        llc_writes=int(np.count_nonzero(writeback)),
         instructions=instructions,
         duration=duration,
+        llc_hits=llc.stats.hits,
     )
+    if cache is not None:
+        cache.store(fingerprint, trace)
+    return trace
 
 
 #: A small synthetic suite spanning memory-bound to compute-bound behaviour,
@@ -103,9 +180,17 @@ SYNTHETIC_SUITE: tuple[WorkloadModel, ...] = (
 )
 
 
-def synthetic_llc_suite(n_accesses: int = 100_000) -> list[TrafficPattern]:
-    """LLC traffic regenerated from the synthetic suite."""
+def synthetic_llc_suite(
+    n_accesses: int = 100_000,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> list[TrafficPattern]:
+    """LLC traffic regenerated from the synthetic suite.
+
+    ``cache_dir`` persists each workload's trace (see
+    :func:`simulate_llc_traffic`), making repeated suite regenerations
+    near-instant.
+    """
     return [
-        simulate_llc_traffic(w, n_accesses=n_accesses).traffic()
+        simulate_llc_traffic(w, n_accesses=n_accesses, cache_dir=cache_dir).traffic()
         for w in SYNTHETIC_SUITE
     ]

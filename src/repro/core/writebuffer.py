@@ -97,32 +97,36 @@ def sweep_buffer_scenarios(
 
 
 def coalescing_factor(
-    addresses: Sequence[int],
+    addresses,
     buffer_lines: int,
     line_bytes: int = 64,
 ) -> float:
     """Measured write-traffic reduction for a buffer of ``buffer_lines``.
 
-    Replays a write-address stream through a small fully-associative
-    write-back buffer (via :mod:`repro.cachesim`) and reports the fraction
-    of writes absorbed by in-place updates.
+    Replays a write-address stream (any integer sequence or array) through
+    a small fully-associative write-back buffer on the vectorized batch
+    engine (:func:`repro.cachesim.batch.simulate_batch`) and reports the
+    fraction of writes absorbed by in-place updates.
     """
-    from repro.cachesim.cache import Cache, CacheConfig
+    import numpy as np
+
+    from repro.cachesim.batch import simulate_batch
+    from repro.cachesim.cache import CacheConfig
 
     if buffer_lines <= 0:
         raise EvaluationError("buffer must have at least one line")
+    addresses = np.asarray(addresses, dtype=np.int64)
+    total_writes = int(addresses.size)
+    if total_writes == 0:
+        return 0.0
     config = CacheConfig(
         capacity_bytes=buffer_lines * line_bytes,
         line_bytes=line_bytes,
         associativity=buffer_lines,  # fully associative
     )
-    buffer = Cache(config)
-    for addr in addresses:
-        buffer.access(addr, is_write=True)
-    total_writes = len(addresses)
-    if total_writes == 0:
-        return 0.0
+    result = simulate_batch(
+        config, addresses, np.ones(total_writes, dtype=bool))
     # Writes that reached the backing store = dirty evictions (+ dirty lines
     # still resident would eventually drain; count them too).
-    drained = buffer.stats.dirty_evictions + buffer.dirty_lines()
+    drained = result.stats.dirty_evictions + result.dirty_lines
     return max(0.0, 1.0 - drained / total_writes)

@@ -20,6 +20,7 @@ from repro.faults.injection import (
     InjectionResult,
     accuracy_under_faults,
     inject_bits,
+    inject_trials,
 )
 from repro.faults.models import (
     FAULT_MODELLED_TECHNOLOGIES,
@@ -42,6 +43,7 @@ __all__ = [
     "FaultInjector",
     "InjectionResult",
     "inject_bits",
+    "inject_trials",
     "accuracy_under_faults",
     "ECCScheme",
     "SECDED_64",

@@ -6,9 +6,10 @@ exploration; this package is the execution layer that delivers it:
 * :mod:`repro.runtime.fingerprint` — stable, content-addressed identities
   for sweep points (cell parameters + array provisioning), shared by the
   in-memory and on-disk caches.
-* :mod:`repro.runtime.cache` — a persistent characterization cache so
-  repeated and incremental sweeps are near-instant and interrupted sweeps
-  are resumable.
+* :mod:`repro.runtime.cache` — persistent content-addressed caches (array
+  characterizations and regenerated LLC traffic traces) so repeated and
+  incremental sweeps are near-instant and interrupted sweeps are
+  resumable.
 * :mod:`repro.runtime.executor` — chunked fan-out of characterization and
   (array, traffic) evaluation over a :class:`~concurrent.futures.\
 ProcessPoolExecutor`, with deterministic result ordering and a serial
@@ -18,7 +19,11 @@ ProcessPoolExecutor`, with deterministic result ordering and a serial
   :class:`~repro.errors.CharacterizationError`.
 """
 
-from repro.runtime.cache import CharacterizationCache
+from repro.runtime.cache import (
+    CharacterizationCache,
+    JsonObjectCache,
+    LLCTraceCache,
+)
 from repro.runtime.executor import (
     SweepPoint,
     characterize_points,
@@ -27,16 +32,22 @@ from repro.runtime.executor import (
 )
 from repro.runtime.fingerprint import (
     SCHEMA_TAG,
+    TRACE_SCHEMA_TAG,
     canonical_json,
     fingerprint_payload,
     point_fingerprint,
     point_payload,
+    trace_fingerprint,
+    trace_payload,
 )
 from repro.runtime.telemetry import ProgressEvent, SweepTelemetry
 
 __all__ = [
     "SCHEMA_TAG",
+    "TRACE_SCHEMA_TAG",
     "CharacterizationCache",
+    "JsonObjectCache",
+    "LLCTraceCache",
     "ProgressEvent",
     "SweepPoint",
     "SweepTelemetry",
@@ -47,4 +58,6 @@ __all__ = [
     "point_fingerprint",
     "point_payload",
     "sweep_points",
+    "trace_fingerprint",
+    "trace_payload",
 ]

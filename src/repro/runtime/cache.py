@@ -1,16 +1,24 @@
-"""Persistent, content-addressed characterization cache.
+"""Persistent, content-addressed result caches.
 
-One JSON file per characterized design point, addressed by the point's
-:func:`~repro.runtime.fingerprint.point_fingerprint` and fanned out over
-256 two-hex-digit subdirectories so large sweeps don't produce a single
+One JSON file per cached result, addressed by a stable content
+fingerprint (:mod:`repro.runtime.fingerprint`) and fanned out over 256
+two-hex-digit subdirectories so large sweeps don't produce a single
 enormous directory.  Writes are atomic (temp file + ``os.replace``), so a
-sweep interrupted mid-store never leaves a truncated entry and a re-run
+run interrupted mid-store never leaves a truncated entry and a re-run
 resumes from whatever completed.
 
 Invalidation is by schema tag: the tag participates in the fingerprint,
-so bumping :data:`~repro.runtime.fingerprint.SCHEMA_TAG` makes every old
-entry unreachable.  The stored payload additionally records the tag and
-is re-checked on load, guarding against entries copied across versions.
+so bumping it makes every old entry unreachable.  The stored payload
+additionally records the tag and is re-checked on load, guarding against
+entries copied across versions.
+
+Two stores share this machinery:
+
+* :class:`CharacterizationCache` — array characterizations, keyed by
+  :func:`~repro.runtime.fingerprint.point_fingerprint` (PR 1);
+* :class:`LLCTraceCache` — regenerated LLC traffic traces, keyed by
+  :func:`~repro.runtime.fingerprint.trace_fingerprint`, so repeated LLC
+  and write-buffer study runs skip cache simulation entirely.
 """
 
 from __future__ import annotations
@@ -18,21 +26,22 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import Any, Iterator, Optional, Union
 
 from repro.errors import ReproError
 from repro.nvsim.result import ArrayCharacterization
-from repro.runtime.fingerprint import SCHEMA_TAG
+from repro.runtime.fingerprint import SCHEMA_TAG, TRACE_SCHEMA_TAG
 
 
-class CharacterizationCache:
-    """On-disk store of :class:`ArrayCharacterization` keyed by fingerprint."""
+class JsonObjectCache:
+    """On-disk store of JSON-able results keyed by content fingerprint.
 
-    def __init__(
-        self,
-        root: Union[str, Path],
-        schema_tag: str = SCHEMA_TAG,
-    ) -> None:
+    Subclasses define the payload format via :meth:`_encode` /
+    :meth:`_decode`; everything else (layout, atomicity, schema checks,
+    hit/miss/store accounting) is shared.
+    """
+
+    def __init__(self, root: Union[str, Path], schema_tag: str) -> None:
         self.root = Path(root)
         self.schema_tag = schema_tag
         self.hits = 0
@@ -43,6 +52,16 @@ class CharacterizationCache:
         except OSError as exc:
             raise ReproError(f"cannot create cache directory {self.root}: {exc}") from exc
 
+    # --- payload format (subclass responsibility) -------------------------
+
+    def _encode(self, result) -> Any:
+        """JSON-able rendering of one result."""
+        raise NotImplementedError
+
+    def _decode(self, payload):
+        """Inverse of :meth:`_encode`; may raise on malformed payloads."""
+        raise NotImplementedError
+
     # --- addressing -------------------------------------------------------
 
     def path_for(self, fingerprint: str) -> Path:
@@ -50,8 +69,8 @@ class CharacterizationCache:
 
     # --- operations -------------------------------------------------------
 
-    def load(self, fingerprint: str) -> Optional[ArrayCharacterization]:
-        """The cached characterization, or ``None`` on miss.
+    def load(self, fingerprint: str):
+        """The cached result, or ``None`` on miss.
 
         Corrupt or schema-mismatched entries count as misses; they are left
         in place (a corrupt file is overwritten by the next store).
@@ -66,21 +85,21 @@ class CharacterizationCache:
             self.misses += 1
             return None
         try:
-            array = ArrayCharacterization.from_dict(payload["result"])
-        except (ReproError, KeyError, TypeError):
+            result = self._decode(payload["result"])
+        except (ReproError, KeyError, TypeError, ValueError):
             self.misses += 1
             return None
         self.hits += 1
-        return array
+        return result
 
-    def store(self, fingerprint: str, array: ArrayCharacterization) -> None:
-        """Persist one characterization atomically."""
+    def store(self, fingerprint: str, result) -> None:
+        """Persist one result atomically."""
         path = self.path_for(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema": self.schema_tag,
             "fingerprint": fingerprint,
-            "result": array.to_dict(),
+            "result": self._encode(result),
         }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(payload, sort_keys=True))
@@ -112,3 +131,44 @@ class CharacterizationCache:
 
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+class CharacterizationCache(JsonObjectCache):
+    """On-disk store of :class:`ArrayCharacterization` keyed by fingerprint."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        schema_tag: str = SCHEMA_TAG,
+    ) -> None:
+        super().__init__(root, schema_tag)
+
+    def _encode(self, result: ArrayCharacterization) -> Any:
+        return result.to_dict()
+
+    def _decode(self, payload) -> ArrayCharacterization:
+        return ArrayCharacterization.from_dict(payload)
+
+    def load(self, fingerprint: str) -> Optional[ArrayCharacterization]:
+        return super().load(fingerprint)
+
+
+class LLCTraceCache(JsonObjectCache):
+    """On-disk store of regenerated LLC traces keyed by fingerprint."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        schema_tag: str = TRACE_SCHEMA_TAG,
+    ) -> None:
+        super().__init__(root, schema_tag)
+
+    def _encode(self, result) -> Any:
+        return result.to_dict()
+
+    def _decode(self, payload):
+        # Imported lazily: repro.cachesim.llc consumes this cache, so a
+        # module-level import would be circular.
+        from repro.cachesim.llc import LLCTrace
+
+        return LLCTrace.from_dict(payload)

@@ -28,6 +28,10 @@ from repro.nvsim.result import OptimizationTarget
 #: Bump whenever either changes in a way that invalidates stored results.
 SCHEMA_TAG = "array-cache-v1"
 
+#: Version tag of the cache-simulation model + LLC trace payload format.
+#: Bump whenever stream generation or the batch engine changes results.
+TRACE_SCHEMA_TAG = "llc-trace-v1"
+
 
 def canonical_json(payload: Any) -> str:
     """Render a JSON-able payload deterministically (sorted keys, no spaces).
@@ -81,3 +85,45 @@ def point_fingerprint(
             schema_tag=schema_tag,
         )
     )
+
+
+def trace_payload(
+    workload,
+    *,
+    n_accesses: int,
+    l2_kb: int,
+    llc_mb: int,
+    instructions_per_access: float,
+    clock_hz: float,
+    ipc: float,
+    seed: int,
+    schema_tag: str = TRACE_SCHEMA_TAG,
+) -> dict[str, Any]:
+    """Canonical description of one LLC-trace regeneration request.
+
+    ``workload`` is a :class:`repro.cachesim.streams.WorkloadModel`; all
+    of its parameters plus every simulation knob participate, so any
+    change to either reidentifies the trace.
+    """
+    return {
+        "schema": schema_tag,
+        "workload": {
+            "name": workload.name,
+            "working_set_bytes": int(workload.working_set_bytes),
+            "write_fraction": float(workload.write_fraction),
+            "locality_skew": float(workload.locality_skew),
+            "streaming_fraction": float(workload.streaming_fraction),
+        },
+        "n_accesses": int(n_accesses),
+        "l2_kb": int(l2_kb),
+        "llc_mb": int(llc_mb),
+        "instructions_per_access": float(instructions_per_access),
+        "clock_hz": float(clock_hz),
+        "ipc": float(ipc),
+        "seed": int(seed),
+    }
+
+
+def trace_fingerprint(workload, **kwargs: Any) -> str:
+    """Stable content key for one LLC-trace regeneration request."""
+    return fingerprint_payload(trace_payload(workload, **kwargs))

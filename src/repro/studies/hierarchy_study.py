@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from repro.cachesim import zipfian_stream
+from repro.cachesim import zipfian_batch
 from repro.cells import tentpoles_for
 from repro.cells.base import TechnologyClass
 from repro.core.hierarchy import evaluate_hierarchy
@@ -30,12 +30,10 @@ FRONT_SIZES_KB = (16, 64, 256)
 @lru_cache(maxsize=8)
 def measured_coalescing(front_kb: int, skew: float = 1.3, seed: int = 5) -> float:
     """Coalescing factor of a ``front_kb`` buffer on a zipfian write stream."""
-    addresses = [
-        a for a, _ in zipfian_stream(
-            30_000, working_set_bytes=mb(2), write_fraction=1.0,
-            skew=skew, seed=seed,
-        )
-    ]
+    addresses, _ = zipfian_batch(
+        30_000, working_set_bytes=mb(2), write_fraction=1.0,
+        skew=skew, seed=seed,
+    )
     return coalescing_factor(addresses, buffer_lines=front_kb * 1024 // 64)
 
 

@@ -1,15 +1,21 @@
 """Cache simulator and address stream tests."""
 
+from collections import Counter
+
+import numpy as np
 import pytest
 
 from repro.cachesim import (
     Cache,
     CacheConfig,
     WorkloadModel,
+    sequential_batch,
     sequential_stream,
     simulate_llc_traffic,
+    strided_batch,
     strided_stream,
     synthetic_llc_suite,
+    zipfian_batch,
     zipfian_stream,
 )
 from repro.errors import ConfigError
@@ -131,6 +137,48 @@ class TestStreams:
         b = list(model.stream(1000, seed=5))
         assert a == b
         assert len(a) == 1000
+
+    def test_zipfian_hottest_lines_are_lowest_ranks(self):
+        """The modulo-wrap fix: heat decreases monotonically with the line
+        number instead of aliasing the tail onto arbitrary lines."""
+        counts = Counter(a for a, _ in zipfian_stream(
+            20_000, working_set_bytes=kb(64), skew=1.3))
+        assert counts.most_common(1)[0][0] == 0
+        top_eight = sum(counts[line * 64] for line in range(8))
+        assert top_eight > 0.4 * 20_000
+
+    def test_batch_and_iterator_forms_agree(self):
+        cases = [
+            (sequential_batch, sequential_stream,
+             dict(n_accesses=500, write_fraction=0.3, seed=4)),
+            (strided_batch, strided_stream,
+             dict(n_accesses=500, stride_bytes=64,
+                  working_set_bytes=kb(4), write_fraction=0.2, seed=4)),
+            (zipfian_batch, zipfian_stream,
+             dict(n_accesses=500, working_set_bytes=kb(64), seed=4)),
+        ]
+        for batch_fn, stream_fn, kwargs in cases:
+            addresses, is_write = batch_fn(**kwargs)
+            assert list(stream_fn(**kwargs)) == \
+                list(zip(addresses.tolist(), is_write.tolist()))
+
+    def test_workload_batch_matches_stream(self):
+        model = WorkloadModel("m", working_set_bytes=kb(64), write_fraction=0.2)
+        addresses, is_write = model.batch(800, seed=9)
+        assert list(model.stream(800, seed=9)) == \
+            list(zip(addresses.tolist(), is_write.tolist()))
+        assert addresses.dtype == np.int64
+        assert is_write.dtype == bool
+
+    def test_workload_batch_interleaves_both_streams(self):
+        model = WorkloadModel("m", working_set_bytes=mb(4),
+                              write_fraction=0.0, streaming_fraction=0.5)
+        addresses, _ = model.batch(2000, seed=1)
+        zipf_addresses, _ = zipfian_batch(
+            1000, mb(4), skew=model.locality_skew, write_fraction=0.0, seed=1)
+        scan_addresses, _ = sequential_batch(1000, write_fraction=0.0, seed=2)
+        assert Counter(addresses.tolist()) == \
+            Counter(zipf_addresses.tolist()) + Counter(scan_addresses.tolist())
 
 
 class TestLLCDerivation:

@@ -14,6 +14,7 @@ from repro.faults import (
     fefet_mlc_error_rate,
     from_bit_array,
     inject_bits,
+    inject_trials,
     quantize_int8,
     slice_into_cells,
     to_bit_array,
@@ -173,3 +174,96 @@ class TestInjection:
         model = FaultModel(TechnologyClass.RRAM, 1, 0.0)
         with pytest.raises(FaultModelError):
             accuracy_under_faults(lambda w: 1.0, [], model, trials=0)
+
+
+class TestBatchedTrials:
+    def _weights(self):
+        rng = np.random.default_rng(4)
+        return [rng.normal(size=(16, 16)).astype(np.float32),
+                rng.normal(size=(8,)).astype(np.float32)]
+
+    def test_trial_and_tensor_structure(self):
+        model = FaultModel(TechnologyClass.RRAM, 1, 0.05)
+        weights = self._weights()
+        trials = inject_trials(weights, model, trials=3, seed=1)
+        assert len(trials) == 3
+        for results in trials:
+            assert len(results) == len(weights)
+            for result, source in zip(results, weights):
+                assert result.corrupted.shape == source.shape
+                assert result.corrupted.dtype == source.dtype
+
+    def test_zero_rate_identity_across_trials(self):
+        model = FaultModel(TechnologyClass.RRAM, 1, 0.0)
+        weights = self._weights()
+        for results in inject_trials(weights, model, trials=3, seed=1):
+            for result, source in zip(results, weights):
+                q = quantize_int8(source)
+                assert np.allclose(result.corrupted, q.dequantize())
+                assert result.n_bit_flips == 0
+                assert result.n_cell_errors == 0
+
+    def test_deterministic_per_seed(self):
+        model = FaultModel(TechnologyClass.RRAM, 1, 0.05)
+        weights = self._weights()
+        a = inject_trials(weights, model, trials=2, seed=7)
+        b = inject_trials(weights, model, trials=2, seed=7)
+        for ra, rb in zip(a, b):
+            for x, y in zip(ra, rb):
+                assert np.array_equal(x.corrupted, y.corrupted)
+                assert x.n_bit_flips == y.n_bit_flips
+
+    def test_trials_are_independent(self):
+        model = FaultModel(TechnologyClass.RRAM, 1, 0.1)
+        weights = [np.ones((32, 32), dtype=np.float32)]
+        first, second = inject_trials(weights, model, trials=2, seed=3)
+        assert not np.array_equal(first[0].corrupted, second[0].corrupted)
+
+    def test_flip_statistics_match_rate(self):
+        model = FaultModel(TechnologyClass.RRAM, 1, 0.01)
+        weights = [np.random.default_rng(0).normal(size=(100, 100))]
+        trials = inject_trials(weights, model, trials=4, seed=2)
+        flips = [t[0].n_bit_flips for t in trials]
+        expected = 100 * 100 * 8 * 0.01  # 800 bits per trial
+        assert 0.6 * expected < np.mean(flips) < 1.4 * expected
+
+    def test_mlc_trials_use_gray_drift(self):
+        model = FaultModel(TechnologyClass.FEFET, 2, 0.02)
+        weights = [np.random.default_rng(1).normal(size=(64, 64))
+                   .astype(np.float32)]
+        for results in inject_trials(weights, model, trials=2, seed=5):
+            result = results[0]
+            assert result.n_cell_errors > 0
+            # Gray coding keeps bit damage close to one bit per cell error.
+            assert result.n_bit_flips <= 2 * result.n_cell_errors
+
+    def test_inject_many_matches_batched_core(self):
+        model = FaultModel(TechnologyClass.RRAM, 1, 0.05)
+        weights = self._weights()
+        via_injector = FaultInjector(model, seed=11).inject_many(weights)
+        via_trials = inject_trials(weights, model, trials=1, seed=11)[0]
+        for a, b in zip(via_injector, via_trials):
+            assert np.array_equal(a.corrupted, b.corrupted)
+
+    def test_requires_at_least_one_trial(self):
+        model = FaultModel(TechnologyClass.RRAM, 1, 0.0)
+        with pytest.raises(FaultModelError):
+            inject_trials([np.ones(4)], model, trials=0)
+
+    def test_unsupported_bits_per_cell_rejected(self):
+        model = FaultModel(TechnologyClass.RRAM, 4, 0.5)
+        with pytest.raises(FaultModelError):
+            inject_trials([np.ones((4, 4))], model, trials=1)
+
+    def test_inject_and_inject_many_report_identical_counters(self):
+        model = FaultModel(TechnologyClass.FEFET, 2, 0.05)
+        weights = self._weights()[0]
+        single = FaultInjector(model, seed=5).inject(weights)
+        batched = FaultInjector(model, seed=5).inject_many([weights])[0]
+        assert np.array_equal(single.corrupted, batched.corrupted)
+        assert single.n_cell_errors == batched.n_cell_errors
+        assert single.n_bit_flips == batched.n_bit_flips
+
+    def test_empty_weight_list(self):
+        model = FaultModel(TechnologyClass.RRAM, 1, 0.5)
+        assert inject_trials([], model, trials=3) == [[], [], []]
