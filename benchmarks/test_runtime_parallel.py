@@ -83,6 +83,12 @@ def test_parallel_sweep_runtime(tmp_path):
     assert warm_engine.last_telemetry.cached == n_points
     assert warm_engine.cache.hits >= n_points
 
+    # Warm evaluation cache: every (array x traffic) block served from
+    # disk, zero fresh evaluations.
+    assert warm_engine.last_telemetry.evaluated == 0
+    assert warm_engine.last_telemetry.eval_cached == n_points
+    assert warm_engine.eval_cache.hits >= n_points
+
     # Speedup: only meaningful with real cores to fan out over.
     if (os.cpu_count() or 1) >= 2:
         assert t_parallel < t_serial, (

@@ -98,6 +98,7 @@ def simulate_llc_traffic(
     ipc: float = 2.0,
     seed: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
+    cache=None,
 ) -> LLCTrace:
     """Drive a workload through L2 -> LLC and extract LLC traffic.
 
@@ -106,16 +107,20 @@ def simulate_llc_traffic(
     back into it — matching the paper's non-inclusive write-back L2 over an
     inclusive write-back LLC.
 
-    With ``cache_dir`` set, the resulting trace is persisted under a
-    fingerprint of ``(workload, simulation parameters)`` and re-runs load
-    it instead of re-simulating.
+    With ``cache_dir`` set (or an :class:`~repro.runtime.cache.\
+LLCTraceCache` passed as ``cache`` — handy when the caller wants to read
+    hit/store counters afterwards), the resulting trace is persisted
+    under a fingerprint of ``(workload, simulation parameters)`` and
+    re-runs load it instead of re-simulating.
     """
-    cache = fingerprint = None
-    if cache_dir is not None:
+    fingerprint = None
+    if cache is None and cache_dir is not None:
         from repro.runtime.cache import LLCTraceCache
-        from repro.runtime.fingerprint import trace_fingerprint
 
         cache = LLCTraceCache(cache_dir)
+    if cache is not None:
+        from repro.runtime.fingerprint import trace_fingerprint
+
         fingerprint = trace_fingerprint(
             workload,
             n_accesses=n_accesses,
@@ -182,15 +187,20 @@ SYNTHETIC_SUITE: tuple[WorkloadModel, ...] = (
 
 def synthetic_llc_suite(
     n_accesses: int = 100_000,
+    seed: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
+    cache=None,
 ) -> list[TrafficPattern]:
     """LLC traffic regenerated from the synthetic suite.
 
-    ``cache_dir`` persists each workload's trace (see
-    :func:`simulate_llc_traffic`), making repeated suite regenerations
-    near-instant.
+    ``cache_dir`` (or a shared ``cache`` instance) persists each
+    workload's trace (see :func:`simulate_llc_traffic`), making repeated
+    suite regenerations near-instant.
     """
     return [
-        simulate_llc_traffic(w, n_accesses=n_accesses, cache_dir=cache_dir).traffic()
+        simulate_llc_traffic(
+            w, n_accesses=n_accesses, seed=seed,
+            cache_dir=cache_dir, cache=cache,
+        ).traffic()
         for w in SYNTHETIC_SUITE
     ]

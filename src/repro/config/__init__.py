@@ -1,6 +1,27 @@
 """Configuration interface: JSON schema, loader, and CLI."""
 
-from repro.config.loader import load_config, run_config
-from repro.config.schema import ParsedConfig, parse_config
+from repro.config.loader import (
+    load_config,
+    load_study_config,
+    run_config,
+    run_study_config,
+)
+from repro.config.schema import (
+    ParsedConfig,
+    StudyConfig,
+    is_study_config,
+    parse_config,
+    parse_study_config,
+)
 
-__all__ = ["ParsedConfig", "parse_config", "load_config", "run_config"]
+__all__ = [
+    "ParsedConfig",
+    "StudyConfig",
+    "is_study_config",
+    "load_config",
+    "load_study_config",
+    "parse_config",
+    "parse_study_config",
+    "run_config",
+    "run_study_config",
+]

@@ -3,24 +3,38 @@
 ``run_config`` accepts a path to a JSON file or an already-parsed dict,
 builds the sweep, runs it through the DSE engine, optionally writes the CSV
 the paper's artifact produces, and returns the result table.
+
+``run_study_config`` does the same for registered-study configs (the
+``config/studies/*.json`` stubs): it resolves the study in the registry,
+runs it under the config's runtime options, and writes the CSV and/or
+markdown report the config asks for.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import inspect
 import json
 from pathlib import Path
 from typing import Any, Mapping, Optional, Union
 
-from repro.config.schema import ParsedConfig, parse_config
+from repro.config.schema import (
+    ParsedConfig,
+    StudyConfig,
+    is_study_config,
+    parse_config,
+    parse_study_config,
+)
 from repro.core.engine import DSEEngine, SweepSpec
 from repro.errors import ConfigError
 from repro.results.table import ResultTable
 
+ConfigSource = Union[str, Path, Mapping[str, Any]]
 
-def load_config(source: Union[str, Path, Mapping[str, Any]]) -> ParsedConfig:
-    """Load and validate a config from a path or dict."""
+
+def _load_raw(source: ConfigSource) -> Mapping[str, Any]:
     if isinstance(source, Mapping):
-        return parse_config(source)
+        return source
     path = Path(source)
     if not path.exists():
         raise ConfigError(f"config file not found: {path}")
@@ -28,20 +42,75 @@ def load_config(source: Union[str, Path, Mapping[str, Any]]) -> ParsedConfig:
         raw = json.loads(path.read_text())
     except json.JSONDecodeError as exc:
         raise ConfigError(f"{path}: invalid JSON ({exc})") from exc
+    if not isinstance(raw, Mapping):
+        raise ConfigError(f"{path}: config root must be an object")
+    return raw
+
+
+def load_config(source: ConfigSource) -> ParsedConfig:
+    """Load and validate a sweep config from a path or dict."""
+    raw = _load_raw(source)
+    if is_study_config(raw):
+        raise ConfigError(
+            "this is a registered-study config; run it with run_study_config "
+            "(CLI: it is dispatched automatically)"
+        )
     return parse_config(raw)
 
 
+def load_study_config(source: ConfigSource) -> StudyConfig:
+    """Load and validate a registered-study config from a path or dict."""
+    return parse_study_config(_load_raw(source))
+
+
+def _override_runtime(
+    runtime,
+    workers: Optional[int],
+    cache_dir: Optional[str],
+    trace_cache_dir: Optional[str],
+    seed: Optional[int],
+    progress,
+):
+    """Apply CLI-style overrides on top of a config's runtime options."""
+    updates: dict[str, Any] = {"progress": progress}
+    if workers is not None:
+        updates["workers"] = workers
+    if cache_dir is not None:
+        updates["cache_dir"] = cache_dir
+    if trace_cache_dir is not None:
+        updates["trace_cache_dir"] = trace_cache_dir
+    if seed is not None:
+        updates["seed"] = seed
+    return dataclasses.replace(runtime, **updates)
+
+
+def _destination(path: str) -> Path:
+    """The output path, with its parent directory ensured."""
+    out = Path(path)
+    if out.parent and not out.parent.exists():
+        out.parent.mkdir(parents=True, exist_ok=True)
+    return out
+
+
+def _write_csv(table: ResultTable, destination: Optional[str]) -> None:
+    if destination:
+        table.to_csv(str(_destination(destination)))
+
+
 def run_config(
-    source: Union[str, Path, Mapping[str, Any]],
+    source: ConfigSource,
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    trace_cache_dir: Optional[str] = None,
+    seed: Optional[int] = None,
     progress=None,
 ) -> ResultTable:
-    """Execute a configuration end to end.
+    """Execute a sweep configuration end to end.
 
-    ``workers`` and ``cache_dir`` override the config's ``runtime``
-    section (e.g. from CLI flags); ``progress`` receives one
-    :class:`~repro.runtime.telemetry.ProgressEvent` per sweep point.
+    ``workers``/``cache_dir``/``trace_cache_dir``/``seed`` override the
+    config's ``runtime`` section (e.g. from CLI flags); ``progress``
+    receives one :class:`~repro.runtime.telemetry.ProgressEvent` per
+    sweep point.
     """
     config = load_config(source)
     spec = SweepSpec(
@@ -54,16 +123,59 @@ def run_config(
         access_bits=config.access_bits,
         bits_per_cell=config.bits_per_cell,
     )
-    engine = DSEEngine(
-        workers=workers if workers is not None else config.workers,
-        cache_dir=cache_dir if cache_dir is not None else config.cache_dir,
-        on_error=config.on_error,
-        progress=progress,
+    runtime = _override_runtime(
+        config.runtime_options(), workers, cache_dir, trace_cache_dir, seed,
+        progress,
     )
-    table = engine.run(spec)
-    if config.output_csv:
-        out = Path(config.output_csv)
-        if out.parent and not out.parent.exists():
-            out.parent.mkdir(parents=True, exist_ok=True)
-        table.to_csv(str(out))
+    table = DSEEngine.from_options(runtime).run(spec)
+    _write_csv(table, config.output_csv)
     return table
+
+
+def run_study_config(
+    source: ConfigSource,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    trace_cache_dir: Optional[str] = None,
+    seed: Optional[int] = None,
+    progress=None,
+) -> ResultTable:
+    """Execute a registered-study configuration end to end.
+
+    Overrides work exactly like :func:`run_config`.  Writes the CSV and
+    markdown report the config asks for and returns the study's table.
+    """
+    config = load_study_config(source)
+    # Imported lazily to keep sweep-only usage free of the studies stack.
+    from repro.studies.pipeline import get_study
+    from repro.viz.report import study_report
+
+    spec = get_study(config.study)
+    runtime = _override_runtime(
+        config.runtime, workers, cache_dir, trace_cache_dir, seed, progress
+    )
+    # Validate params against the builder's signature up front, so a
+    # TypeError raised deep inside a study is never misreported as a
+    # config mistake.
+    if "runtime" in config.params:
+        raise ConfigError(
+            f"study {config.study!r}: 'runtime' is not a study parameter "
+            "(use the config's runtime section)"
+        )
+    try:
+        inspect.signature(spec.builder).bind_partial(**config.params)
+    except TypeError as exc:
+        raise ConfigError(f"study {config.study!r}: bad params ({exc})") from exc
+    outcome = spec.run(runtime, **config.params)
+    if outcome.table is None:
+        raise ConfigError(f"study {config.study!r} failed: {outcome.error}")
+    _write_csv(outcome.table, config.output_csv)
+    if config.report_md:
+        _destination(config.report_md).write_text(study_report(
+            title=config.study.replace("_", " "),
+            table=outcome.table,
+            description=spec.description,
+            figure=spec.figure,
+            **spec.report,
+        ))
+    return outcome.table

@@ -26,18 +26,35 @@ A config describes one design sweep::
       "runtime": {
         "workers": 4,
         "cache_dir": ".nvmcache",
-        "on_error": "raise" | "skip"
+        "trace_cache_dir": null,
+        "on_error": "raise" | "skip",
+        "seed": null
       },
       "output_csv": "results.csv"
     }
 
 The optional ``runtime`` section controls sweep execution (see
-:mod:`repro.runtime`): process-pool width, the persistent
-characterization cache directory, and whether a failing design point
-aborts the sweep or is skipped with telemetry.
+:mod:`repro.runtime`): process-pool width, the persistent cache root
+(characterizations, evaluation blocks, and LLC traces live under it),
+an optional trace-cache override, whether a failing design point aborts
+the sweep or is skipped with telemetry, and a seed override for
+stochastic components.
 
-:func:`parse_config` validates a dict into a :class:`ParsedConfig`;
-:func:`repro.config.loader.run_config` executes it.
+A second config shape describes one *registered study* instead of a raw
+sweep (the ``config/studies/*.json`` stubs)::
+
+    {
+      "study": "fig09_spec_llc",
+      "params": { "capacity_bytes": 16777216 },
+      "runtime": { "workers": 4, "cache_dir": ".nvmcache" },
+      "output_csv": "output/results/fig09_spec_llc.csv",
+      "report_md": "output/reports/fig09_spec_llc.md"
+    }
+
+:func:`parse_config` validates a sweep dict into a :class:`ParsedConfig`
+and :func:`parse_study_config` a study dict into a :class:`StudyConfig`;
+:func:`repro.config.loader.run_config` /
+:func:`repro.config.loader.run_study_config` execute them.
 """
 
 from __future__ import annotations
@@ -49,6 +66,7 @@ from repro.cells import CellTechnology, sram_cell, study_cells, tentpoles_for
 from repro.cells.base import TechnologyClass
 from repro.errors import ConfigError
 from repro.nvsim.result import OptimizationTarget
+from repro.runtime.options import RuntimeOptions
 from repro.traffic.base import TrafficPattern
 from repro.traffic.dnn import DNN_WORKLOADS, NVDLAPerformanceModel, continuous_scenarios
 from repro.traffic.generic import generic_sweep, graph_envelope_sweep, log_spaced
@@ -75,7 +93,31 @@ class ParsedConfig:
     output_csv: Optional[str] = None
     workers: int = 1
     cache_dir: Optional[str] = None
+    trace_cache_dir: Optional[str] = None
     on_error: str = "raise"
+    seed: Optional[int] = None
+
+    def runtime_options(self, progress=None) -> RuntimeOptions:
+        """The sweep's runtime section as shared :class:`RuntimeOptions`."""
+        return RuntimeOptions(
+            workers=self.workers,
+            cache_dir=self.cache_dir,
+            trace_cache_dir=self.trace_cache_dir,
+            on_error=self.on_error,
+            progress=progress,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """A validated registered-study configuration ready to run."""
+
+    study: str
+    params: Mapping[str, Any]
+    runtime: RuntimeOptions
+    output_csv: Optional[str] = None
+    report_md: Optional[str] = None
 
 
 def _require(mapping: Mapping[str, Any], key: str, context: str) -> Any:
@@ -187,18 +229,7 @@ def parse_config(raw: Mapping[str, Any]) -> ParsedConfig:
     if bits < 1:
         raise ConfigError("system.bits_per_cell must be >= 1")
 
-    runtime = raw.get("runtime", {})
-    if not isinstance(runtime, Mapping):
-        raise ConfigError("runtime section must be an object")
-    workers = int(runtime.get("workers", 1))
-    if workers < 1:
-        raise ConfigError("runtime.workers must be >= 1")
-    on_error = str(runtime.get("on_error", "raise"))
-    if on_error not in ("raise", "skip"):
-        raise ConfigError("runtime.on_error must be 'raise' or 'skip'")
-    cache_dir = runtime.get("cache_dir")
-    if cache_dir is not None:
-        cache_dir = str(cache_dir)
+    runtime = _parse_runtime(raw.get("runtime", {}))
 
     return ParsedConfig(
         name=name,
@@ -211,7 +242,65 @@ def parse_config(raw: Mapping[str, Any]) -> ParsedConfig:
         bits_per_cell=bits,
         traffic=_parse_traffic(raw.get("traffic")),
         output_csv=raw.get("output_csv"),
+        workers=runtime.workers,
+        cache_dir=runtime.cache_dir,
+        trace_cache_dir=runtime.trace_cache_dir,
+        on_error=runtime.on_error,
+        seed=runtime.seed,
+    )
+
+
+def _parse_runtime(section: Any) -> RuntimeOptions:
+    """Validate a ``runtime`` section into :class:`RuntimeOptions`."""
+    if not isinstance(section, Mapping):
+        raise ConfigError("runtime section must be an object")
+    workers = int(section.get("workers", 1))
+    if workers < 1:
+        raise ConfigError("runtime.workers must be >= 1")
+    on_error = str(section.get("on_error", "raise"))
+    if on_error not in ("raise", "skip"):
+        raise ConfigError("runtime.on_error must be 'raise' or 'skip'")
+    cache_dir = section.get("cache_dir")
+    trace_cache_dir = section.get("trace_cache_dir")
+    seed = section.get("seed")
+    return RuntimeOptions(
         workers=workers,
-        cache_dir=cache_dir,
+        cache_dir=None if cache_dir is None else str(cache_dir),
+        trace_cache_dir=None if trace_cache_dir is None else str(trace_cache_dir),
         on_error=on_error,
+        seed=None if seed is None else int(seed),
+    )
+
+
+def is_study_config(raw: Mapping[str, Any]) -> bool:
+    """Does this raw config describe a registered study (vs. a raw sweep)?"""
+    return isinstance(raw, Mapping) and "study" in raw
+
+
+def parse_study_config(raw: Mapping[str, Any]) -> StudyConfig:
+    """Validate a raw registered-study config dict."""
+    if not isinstance(raw, Mapping):
+        raise ConfigError("config root must be an object")
+    study = str(_require(raw, "study", "config"))
+    # Imported lazily: the study registry imports the engine stack, which
+    # plain sweep parsing never needs.  The registry owns the membership
+    # check (and its error message); we only retype it for config callers.
+    from repro.errors import ReproError
+    from repro.studies.pipeline import get_study
+
+    try:
+        get_study(study)
+    except ReproError as exc:
+        raise ConfigError(str(exc)) from None
+    params = raw.get("params", {})
+    if not isinstance(params, Mapping):
+        raise ConfigError("params section must be an object")
+    output_csv = raw.get("output_csv")
+    report_md = raw.get("report_md")
+    return StudyConfig(
+        study=study,
+        params=dict(params),
+        runtime=_parse_runtime(raw.get("runtime", {})),
+        output_csv=None if output_csv is None else str(output_csv),
+        report_md=None if report_md is None else str(report_md),
     )

@@ -21,21 +21,30 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.cells.base import CellTechnology
-from repro.core.metrics import SystemEvaluation, evaluate
+from repro.core.metrics import (  # noqa: F401  (re-exported for compatibility)
+    SystemEvaluation,
+    array_record,
+    evaluate,
+    evaluation_record,
+)
 from repro.errors import CharacterizationError
 from repro.nvsim import characterize
 from repro.nvsim.result import ArrayCharacterization, OptimizationTarget
 from repro.results.table import ResultTable
-from repro.runtime.cache import CharacterizationCache
+from repro.runtime.cache import CharacterizationCache, EvaluationCache
 from repro.runtime.executor import (
     SweepPoint,
     characterize_points,
-    parallel_map,
+    evaluate_blocks,
     sweep_points,
 )
-from repro.runtime.telemetry import COMPLETED, ProgressEvent, SweepTelemetry
+from repro.runtime.options import (
+    ARRAY_CACHE_SUBDIR,
+    EVALUATION_CACHE_SUBDIR,
+    RuntimeOptions,
+)
+from repro.runtime.telemetry import SweepTelemetry
 from repro.traffic.base import TrafficPattern
-from repro.units import to_mm2, to_ns, to_pj
 
 
 @dataclass(frozen=True)
@@ -60,71 +69,6 @@ class SweepSpec:
             raise CharacterizationError("sweep needs at least one capacity")
 
 
-def _flavor(cell: CellTechnology) -> str:
-    name = cell.name.lower()
-    for tag in ("optimistic", "pessimistic", "reference", "back-gated"):
-        if tag in name:
-            return tag
-    return "custom"
-
-
-def array_record(array: ArrayCharacterization) -> dict:
-    """Flatten an array characterization into a table row."""
-    return {
-        "cell": array.cell.name,
-        "tech": array.cell.tech_class.value,
-        "flavor": _flavor(array.cell),
-        "capacity_mb": array.capacity_bytes / (1024 * 1024),
-        "node_nm": array.node_nm,
-        "bits_per_cell": array.bits_per_cell,
-        "target": array.optimization_target.value,
-        "area_mm2": to_mm2(array.area),
-        "area_efficiency": array.area_efficiency,
-        "density_mbit_mm2": array.density_mbit_per_mm2,
-        "read_latency_ns": to_ns(array.read_latency),
-        "write_latency_ns": to_ns(array.write_latency),
-        "read_energy_pj": to_pj(array.read_energy),
-        "write_energy_pj": to_pj(array.write_energy),
-        "read_energy_per_bit_pj": to_pj(array.read_energy_per_bit),
-        "write_energy_per_bit_pj": to_pj(array.write_energy_per_bit),
-        "leakage_mw": array.leakage_power * 1e3,
-        "sleep_uw": array.sleep_power * 1e6,
-        "read_bw_gbps": array.read_bandwidth / 1e9,
-        "write_bw_gbps": array.write_bandwidth / 1e9,
-    }
-
-
-def evaluation_record(ev: SystemEvaluation) -> dict:
-    """Flatten a system evaluation into a table row."""
-    row = array_record(ev.array)
-    row.update(
-        {
-            "workload": ev.traffic.name,
-            "reads_per_s": ev.traffic.reads_per_second,
-            "writes_per_s": ev.traffic.writes_per_second,
-            "total_power_mw": ev.total_power * 1e3,
-            "dynamic_power_mw": ev.dynamic_power * 1e3,
-            "static_power_mw": ev.leakage_power * 1e3,
-            "memory_latency_s_per_s": ev.memory_latency_per_second,
-            "slowdown": ev.slowdown,
-            "feasible": ev.feasible,
-            "lifetime_years": ev.lifetime_years,
-            "energy_per_task_uj": (
-                None if ev.energy_per_task is None else ev.energy_per_task * 1e6
-            ),
-        }
-    )
-    for key, value in ev.traffic.metadata.items():
-        row.setdefault(key, value)
-    return row
-
-
-def _evaluation_rows(payload) -> list[dict]:
-    """Pool worker: evaluate one array under every traffic pattern."""
-    array, traffic = payload
-    return [evaluation_record(evaluate(array, t)) for t in traffic]
-
-
 class DSEEngine:
     """Runs sweeps and caches array characterizations along the way.
 
@@ -134,8 +78,9 @@ class DSEEngine:
         Process-pool width for characterization and evaluation fan-out;
         1 (the default) runs everything serially in-process.
     cache_dir:
-        Directory for the persistent characterization cache; ``None``
-        keeps results in memory only.
+        Root of the persistent cache layout (``arrays/`` holds
+        characterizations, ``evaluations/`` holds (array x traffic)
+        evaluation row blocks); ``None`` keeps results in memory only.
     on_error:
         ``"raise"`` aborts the sweep on the first
         :class:`CharacterizationError` (historical behavior); ``"skip"``
@@ -160,14 +105,29 @@ class DSEEngine:
         self.workers = max(1, int(workers))
         self.on_error = on_error
         self.progress = progress
-        self.cache: Optional[CharacterizationCache] = (
-            CharacterizationCache(cache_dir) if cache_dir is not None else None
-        )
+        self.cache: Optional[CharacterizationCache] = None
+        self.eval_cache: Optional[EvaluationCache] = None
+        if cache_dir is not None:
+            root = Path(cache_dir)
+            self.cache = CharacterizationCache(root / ARRAY_CACHE_SUBDIR)
+            self.eval_cache = EvaluationCache(root / EVALUATION_CACHE_SUBDIR)
         #: In-memory cache keyed by the stable point fingerprint (shared
         #: with the on-disk cache's addressing).
         self._array_cache: dict[str, ArrayCharacterization] = {}
+        #: In-memory evaluation-block memo, keyed like the on-disk store.
+        self._eval_memory: dict[str, list[dict]] = {}
         #: Telemetry of the most recent ``run``/``arrays`` call.
         self.last_telemetry: Optional[SweepTelemetry] = None
+
+    @classmethod
+    def from_options(cls, options: RuntimeOptions) -> "DSEEngine":
+        """An engine configured from shared :class:`RuntimeOptions`."""
+        return cls(
+            workers=options.workers,
+            cache_dir=options.cache_dir,
+            on_error=options.on_error,
+            progress=options.progress,
+        )
 
     def fingerprint(
         self,
@@ -201,9 +161,39 @@ class DSEEngine:
             cache=self.cache,
             memory=self._array_cache,
             on_error="raise",
+            telemetry=SweepTelemetry(self.progress),
         )[0]
         assert result is not None  # on_error="raise" never returns None
         return result
+
+    def evaluate_blocks(
+        self,
+        arrays: Sequence[ArrayCharacterization],
+        traffic: Sequence[TrafficPattern],
+        rows_fn=None,
+        extra=None,
+        telemetry: Optional[SweepTelemetry] = None,
+    ) -> list[list[dict]]:
+        """Evaluate arrays under a traffic block through every cache layer.
+
+        One list of flattened rows per array, in array order; blocks
+        already present in the in-memory memo or the persistent
+        evaluation cache are served without re-running the model.  See
+        :func:`repro.runtime.executor.evaluate_blocks` for ``rows_fn`` /
+        ``extra`` semantics.
+        """
+        return evaluate_blocks(
+            arrays,
+            traffic,
+            rows_fn=rows_fn,
+            extra=extra,
+            workers=self.workers,
+            cache=self.eval_cache,
+            memory=self._eval_memory,
+            telemetry=(
+                telemetry if telemetry is not None else SweepTelemetry(self.progress)
+            ),
+        )
 
     def _characterized(
         self, spec: SweepSpec, telemetry: SweepTelemetry
@@ -243,21 +233,10 @@ class DSEEngine:
             for array in arrays:
                 table.append(array_record(array))
             return table
-        traffic = tuple(spec.traffic)
-        jobs = [(array, traffic) for array in arrays]
-
-        def _evaluated(index: int, rows) -> None:
-            telemetry.emit(
-                ProgressEvent(
-                    COMPLETED, arrays[index].label, index, len(arrays),
-                    phase="evaluate",
-                )
-            )
-
-        row_chunks = parallel_map(
-            _evaluation_rows, jobs, workers=self.workers, on_result=_evaluated
+        row_blocks = self.evaluate_blocks(
+            arrays, tuple(spec.traffic), telemetry=telemetry
         )
-        for rows in row_chunks:
+        for rows in row_blocks:
             for row in rows:
                 table.append(row)
         return table

@@ -20,12 +20,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional, Sequence
 
 from repro.errors import EvaluationError
 from repro.nvsim.result import ArrayCharacterization
 from repro.traffic.base import TrafficPattern
-from repro.units import BITS_PER_BYTE, MB, SECONDS_PER_YEAR
+from repro.units import BITS_PER_BYTE, MB, SECONDS_PER_YEAR, to_mm2, to_ns, to_pj
 
 #: Memory-controller / interface overhead, watts per byte of capacity
 #: (0.4 mW per MB).  System-level cost the array model does not see.
@@ -144,6 +144,97 @@ def evaluate(
         lifetime_seconds=lifetime,
         energy_per_task=energy_per_task,
     )
+
+
+def evaluate_many(
+    array: ArrayCharacterization,
+    traffic: Sequence[TrafficPattern],
+    write_latency_mask: float = 0.0,
+) -> list[SystemEvaluation]:
+    """Evaluate one array under a whole block of traffic patterns.
+
+    The batched unit of the evaluation layer: worker tasks and the
+    persistent evaluation cache both operate on (array x traffic-block)
+    granularity rather than one (array, traffic) pair at a time.
+    """
+    return [evaluate(array, t, write_latency_mask) for t in traffic]
+
+
+# --- flattened result rows --------------------------------------------------
+
+
+def _flavor(cell) -> str:
+    name = cell.name.lower()
+    for tag in ("optimistic", "pessimistic", "reference", "back-gated"):
+        if tag in name:
+            return tag
+    return "custom"
+
+
+def array_record(array: ArrayCharacterization) -> dict:
+    """Flatten an array characterization into a table row."""
+    return {
+        "cell": array.cell.name,
+        "tech": array.cell.tech_class.value,
+        "flavor": _flavor(array.cell),
+        "capacity_mb": array.capacity_bytes / (1024 * 1024),
+        "node_nm": array.node_nm,
+        "bits_per_cell": array.bits_per_cell,
+        "target": array.optimization_target.value,
+        "area_mm2": to_mm2(array.area),
+        "area_efficiency": array.area_efficiency,
+        "density_mbit_mm2": array.density_mbit_per_mm2,
+        "read_latency_ns": to_ns(array.read_latency),
+        "write_latency_ns": to_ns(array.write_latency),
+        "read_energy_pj": to_pj(array.read_energy),
+        "write_energy_pj": to_pj(array.write_energy),
+        "read_energy_per_bit_pj": to_pj(array.read_energy_per_bit),
+        "write_energy_per_bit_pj": to_pj(array.write_energy_per_bit),
+        "leakage_mw": array.leakage_power * 1e3,
+        "sleep_uw": array.sleep_power * 1e6,
+        "read_bw_gbps": array.read_bandwidth / 1e9,
+        "write_bw_gbps": array.write_bandwidth / 1e9,
+    }
+
+
+def evaluation_record(ev: SystemEvaluation) -> dict:
+    """Flatten a system evaluation into a table row."""
+    row = array_record(ev.array)
+    row.update(
+        {
+            "workload": ev.traffic.name,
+            "reads_per_s": ev.traffic.reads_per_second,
+            "writes_per_s": ev.traffic.writes_per_second,
+            "total_power_mw": ev.total_power * 1e3,
+            "dynamic_power_mw": ev.dynamic_power * 1e3,
+            "static_power_mw": ev.leakage_power * 1e3,
+            "memory_latency_s_per_s": ev.memory_latency_per_second,
+            "slowdown": ev.slowdown,
+            "feasible": ev.feasible,
+            "lifetime_years": ev.lifetime_years,
+            "energy_per_task_uj": (
+                None if ev.energy_per_task is None else ev.energy_per_task * 1e6
+            ),
+        }
+    )
+    for key, value in ev.traffic.metadata.items():
+        row.setdefault(key, value)
+    return row
+
+
+def evaluation_rows(
+    array: ArrayCharacterization,
+    traffic: Sequence[TrafficPattern],
+    extra: Any = None,
+) -> list[dict]:
+    """One flattened row per traffic pattern — the default block evaluator.
+
+    This is the standard ``rows_fn`` of
+    :func:`repro.runtime.executor.evaluate_blocks`; ``extra`` is unused
+    here but part of the uniform signature specialized evaluators share.
+    """
+    del extra
+    return [evaluation_record(ev) for ev in evaluate_many(array, traffic)]
 
 
 def lifetime_seconds(

@@ -7,13 +7,16 @@ exploration; this package is the execution layer that delivers it:
   for sweep points (cell parameters + array provisioning), shared by the
   in-memory and on-disk caches.
 * :mod:`repro.runtime.cache` — persistent content-addressed caches (array
-  characterizations and regenerated LLC traffic traces) so repeated and
-  incremental sweeps are near-instant and interrupted sweeps are
-  resumable.
+  characterizations, (array x traffic) evaluation row blocks, and
+  regenerated LLC traffic traces) so repeated and incremental sweeps are
+  near-instant and interrupted sweeps are resumable.
 * :mod:`repro.runtime.executor` — chunked fan-out of characterization and
   (array, traffic) evaluation over a :class:`~concurrent.futures.\
 ProcessPoolExecutor`, with deterministic result ordering and a serial
   fallback for ``workers=1``.
+* :mod:`repro.runtime.options` — :class:`RuntimeOptions`, the shared
+  execution options (workers, cache_dir, trace_cache_dir, on_error,
+  progress, seed) every study and config-driven sweep accepts.
 * :mod:`repro.runtime.telemetry` — progress events (completed / cached /
   failed points) via callback and logging instead of dying on the first
   :class:`~repro.errors.CharacterizationError`.
@@ -21,38 +24,52 @@ ProcessPoolExecutor`, with deterministic result ordering and a serial
 
 from repro.runtime.cache import (
     CharacterizationCache,
+    EvaluationCache,
     JsonObjectCache,
     LLCTraceCache,
 )
 from repro.runtime.executor import (
     SweepPoint,
     characterize_points,
+    evaluate_blocks,
     parallel_map,
     sweep_points,
 )
 from repro.runtime.fingerprint import (
+    EVAL_SCHEMA_TAG,
     SCHEMA_TAG,
     TRACE_SCHEMA_TAG,
     canonical_json,
+    evaluation_context,
+    evaluation_fingerprint,
     fingerprint_payload,
     point_fingerprint,
     point_payload,
     trace_fingerprint,
     trace_payload,
 )
+from repro.runtime.options import RuntimeOptions, engine_for, ensure_runtime
 from repro.runtime.telemetry import ProgressEvent, SweepTelemetry
 
 __all__ = [
+    "EVAL_SCHEMA_TAG",
     "SCHEMA_TAG",
     "TRACE_SCHEMA_TAG",
     "CharacterizationCache",
+    "EvaluationCache",
     "JsonObjectCache",
     "LLCTraceCache",
     "ProgressEvent",
+    "RuntimeOptions",
     "SweepPoint",
     "SweepTelemetry",
     "canonical_json",
     "characterize_points",
+    "engine_for",
+    "ensure_runtime",
+    "evaluate_blocks",
+    "evaluation_context",
+    "evaluation_fingerprint",
     "fingerprint_payload",
     "parallel_map",
     "point_fingerprint",

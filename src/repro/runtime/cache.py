@@ -12,13 +12,17 @@ so bumping it makes every old entry unreachable.  The stored payload
 additionally records the tag and is re-checked on load, guarding against
 entries copied across versions.
 
-Two stores share this machinery:
+Three stores share this machinery:
 
 * :class:`CharacterizationCache` — array characterizations, keyed by
   :func:`~repro.runtime.fingerprint.point_fingerprint` (PR 1);
 * :class:`LLCTraceCache` — regenerated LLC traffic traces, keyed by
   :func:`~repro.runtime.fingerprint.trace_fingerprint`, so repeated LLC
-  and write-buffer study runs skip cache simulation entirely.
+  and write-buffer study runs skip cache simulation entirely;
+* :class:`EvaluationCache` — flattened (array x traffic) evaluation row
+  blocks, keyed by
+  :func:`~repro.runtime.fingerprint.evaluation_fingerprint`, so repeated
+  study runs skip the evaluation loop entirely.
 """
 
 from __future__ import annotations
@@ -30,7 +34,7 @@ from typing import Any, Iterator, Optional, Union
 
 from repro.errors import ReproError
 from repro.nvsim.result import ArrayCharacterization
-from repro.runtime.fingerprint import SCHEMA_TAG, TRACE_SCHEMA_TAG
+from repro.runtime.fingerprint import EVAL_SCHEMA_TAG, SCHEMA_TAG, TRACE_SCHEMA_TAG
 
 
 class JsonObjectCache:
@@ -151,6 +155,32 @@ class CharacterizationCache(JsonObjectCache):
 
     def load(self, fingerprint: str) -> Optional[ArrayCharacterization]:
         return super().load(fingerprint)
+
+
+class EvaluationCache(JsonObjectCache):
+    """On-disk store of (array x traffic) evaluation row blocks.
+
+    One entry holds every flattened result row of one array evaluated
+    under one traffic block — already JSON-shaped, so encode/decode only
+    validate the structure.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        schema_tag: str = EVAL_SCHEMA_TAG,
+    ) -> None:
+        super().__init__(root, schema_tag)
+
+    def _encode(self, result) -> Any:
+        return list(result)
+
+    def _decode(self, payload) -> list[dict]:
+        if not isinstance(payload, list) or not all(
+            isinstance(row, dict) for row in payload
+        ):
+            raise ValueError("evaluation payload must be a list of row objects")
+        return payload
 
 
 class LLCTraceCache(JsonObjectCache):

@@ -25,8 +25,13 @@ from repro.cells.base import CellTechnology
 from repro.errors import CharacterizationError, ReproError
 from repro.nvsim import characterize
 from repro.nvsim.result import ArrayCharacterization, OptimizationTarget
-from repro.runtime.cache import CharacterizationCache
-from repro.runtime.fingerprint import SCHEMA_TAG, point_fingerprint
+from repro.runtime.cache import CharacterizationCache, EvaluationCache
+from repro.runtime.fingerprint import (
+    SCHEMA_TAG,
+    evaluation_context,
+    evaluation_fingerprint,
+    point_fingerprint,
+)
 from repro.runtime.telemetry import (
     CACHED,
     COMPLETED,
@@ -274,3 +279,115 @@ def characterize_points(
                 future.cancel()
             raise
     return results
+
+
+# --- (array x traffic) evaluation fan-out -----------------------------------
+
+
+def rows_fn_id(rows_fn) -> str:
+    """Stable identity of a block evaluator, for cache fingerprints."""
+    return f"{rows_fn.__module__}:{rows_fn.__qualname__}"
+
+
+def _evaluate_chunk(payload):
+    """Pool worker: evaluate one chunk of indexed (array x traffic) blocks."""
+    rows_fn, traffic, extra, chunk = payload
+    return [(index, rows_fn(array, traffic, extra)) for index, array in chunk]
+
+
+def evaluate_blocks(
+    arrays: Sequence[ArrayCharacterization],
+    traffic: Sequence,
+    *,
+    rows_fn: Optional[Callable] = None,
+    extra: Any = None,
+    workers: int = 1,
+    cache: Optional[EvaluationCache] = None,
+    memory: Optional[dict] = None,
+    telemetry: Optional[SweepTelemetry] = None,
+    chunksize: Optional[int] = None,
+) -> List[List[dict]]:
+    """Evaluate every array under the whole traffic block, in order.
+
+    Returns one list of flattened result rows per array.  ``rows_fn``
+    (default :func:`repro.core.metrics.evaluation_rows`) must be a
+    picklable module-level callable ``(array, traffic, extra) -> rows``;
+    ``extra`` carries its JSON-able parameters and participates in the
+    cache key.  Lookup order mirrors :func:`characterize_points`: the
+    in-process ``memory`` dict, then the on-disk ``cache``; fresh blocks
+    are written back to both.  Returned row dicts are fresh copies, so
+    callers may annotate them without corrupting cached entries.
+    """
+    if rows_fn is None:
+        # Imported lazily: repro.core builds on this module, so a
+        # module-level import of the default evaluator would be circular.
+        from repro.core.metrics import evaluation_rows
+
+        rows_fn = evaluation_rows
+    traffic = tuple(traffic)
+    telemetry = telemetry if telemetry is not None else SweepTelemetry()
+    memory = memory if memory is not None else {}
+    fn_id = rows_fn_id(rows_fn)
+    total = len(arrays)
+    results: List[Optional[List[dict]]] = [None] * total
+
+    def _emit(kind: str, index: int, source: str = "") -> None:
+        telemetry.emit(ProgressEvent(
+            kind, arrays[index].label, index, total,
+            phase="evaluate", source=source,
+        ))
+
+    context = evaluation_context(traffic, rows_fn_id=fn_id, extra=extra)
+    pending_by_fp: dict[str, List[int]] = {}
+    fingerprints: List[str] = []
+    for index, array in enumerate(arrays):
+        fp = evaluation_fingerprint(array, context=context)
+        fingerprints.append(fp)
+        if fp in memory:
+            results[index] = memory[fp]
+            _emit(CACHED, index, source="memory")
+            continue
+        if fp in pending_by_fp:
+            pending_by_fp[fp].append(index)
+            continue
+        rows = cache.load(fp) if cache is not None else None
+        if rows is not None:
+            memory[fp] = rows
+            results[index] = rows
+            _emit(CACHED, index, source="disk")
+            continue
+        pending_by_fp[fp] = [index]
+
+    def _record(first_index: int, rows: List[dict]) -> None:
+        fp = fingerprints[first_index]
+        memory[fp] = rows
+        if cache is not None:
+            cache.store(fp, rows)
+        for nth, index in enumerate(pending_by_fp[fp]):
+            results[index] = rows
+            _emit(COMPLETED if nth == 0 else CACHED, index,
+                  source="" if nth == 0 else "memory")
+
+    pending = [(indices[0], arrays[indices[0]])
+               for indices in pending_by_fp.values()]
+
+    if workers <= 1 or len(pending) <= 1:
+        for index, array in pending:
+            _record(index, rows_fn(array, traffic, extra))
+    else:
+        chunksize = chunksize or _default_chunksize(len(pending), workers)
+        chunks = _chunked(pending, chunksize)
+        with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+            futures = [
+                pool.submit(_evaluate_chunk, (rows_fn, traffic, extra, chunk))
+                for chunk in chunks
+            ]
+            try:
+                for future in as_completed(futures):
+                    for index, rows in future.result():
+                        _record(index, rows)
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+    return [[dict(row) for row in rows] for rows in results]

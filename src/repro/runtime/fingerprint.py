@@ -32,6 +32,11 @@ SCHEMA_TAG = "array-cache-v1"
 #: Bump whenever stream generation or the batch engine changes results.
 TRACE_SCHEMA_TAG = "llc-trace-v1"
 
+#: Version tag of the analytical evaluation model + row payload format.
+#: Bump whenever :func:`repro.core.metrics.evaluate` or the flattened
+#: evaluation-row schema changes in a way that invalidates stored rows.
+EVAL_SCHEMA_TAG = "eval-rows-v1"
+
 
 def canonical_json(payload: Any) -> str:
     """Render a JSON-able payload deterministically (sorted keys, no spaces).
@@ -127,3 +132,69 @@ def trace_payload(
 def trace_fingerprint(workload, **kwargs: Any) -> str:
     """Stable content key for one LLC-trace regeneration request."""
     return fingerprint_payload(trace_payload(workload, **kwargs))
+
+
+def traffic_entry(traffic) -> dict[str, Any]:
+    """Canonical description of one :class:`~repro.traffic.TrafficPattern`.
+
+    Every field that influences :func:`repro.core.metrics.evaluate`
+    participates (rates, access width, per-task totals), plus the name and
+    metadata because they flow into the flattened evaluation rows.
+    """
+    return {
+        "name": traffic.name,
+        "reads_per_second": float(traffic.reads_per_second),
+        "writes_per_second": float(traffic.writes_per_second),
+        "access_bytes": int(traffic.access_bytes),
+        "reads_per_task": (
+            None if traffic.reads_per_task is None else float(traffic.reads_per_task)
+        ),
+        "writes_per_task": (
+            None if traffic.writes_per_task is None else float(traffic.writes_per_task)
+        ),
+        "metadata": dict(traffic.metadata),
+    }
+
+
+def evaluation_context(
+    traffic,
+    *,
+    rows_fn_id: str,
+    extra: Any = None,
+    schema_tag: str = EVAL_SCHEMA_TAG,
+) -> str:
+    """Digest of the array-independent half of an evaluation key.
+
+    The traffic block, the row builder's identity, its JSON-able
+    parameters (``extra``, e.g. write-buffer scenarios), and the metrics
+    schema tag are shared by every array of one ``evaluate_blocks`` call
+    — hash them once and combine with each array's digest.
+    """
+    return fingerprint_payload({
+        "schema": schema_tag,
+        "traffic": [traffic_entry(t) for t in traffic],
+        "rows_fn": rows_fn_id,
+        "extra": extra,
+    })
+
+
+def evaluation_fingerprint(
+    array,
+    traffic=None,
+    *,
+    context: str = None,
+    **kwargs: Any,
+) -> str:
+    """Stable content key for one (array x traffic-block) evaluation.
+
+    ``array`` is keyed by its full characterized content
+    (:meth:`~repro.nvsim.result.ArrayCharacterization.to_dict`), not by the
+    sweep point that produced it, so any change to the characterization
+    model automatically reidentifies every dependent evaluation.  Pass
+    either ``traffic`` plus :func:`evaluation_context` keywords, or a
+    precomputed ``context`` digest when fingerprinting many arrays
+    against the same block.
+    """
+    if context is None:
+        context = evaluation_context(traffic, **kwargs)
+    return fingerprint_payload({"context": context, "array": array.to_dict()})

@@ -1,0 +1,110 @@
+"""Shared execution options for sweeps and studies.
+
+Every study and config-driven sweep accepts one :class:`RuntimeOptions`
+value instead of ad-hoc ``workers=``/``cache_dir=`` keyword sprinkling:
+the pool width, the persistent cache root, error policy, progress
+callback, and RNG seed travel together through the study registry, the
+CLI, and :class:`~repro.core.engine.DSEEngine`.
+
+``cache_dir`` is the root of a unified on-disk layout::
+
+    <cache_dir>/arrays/       array characterizations
+    <cache_dir>/evaluations/  (array x traffic) evaluation row blocks
+    <cache_dir>/traces/       regenerated LLC traffic traces
+
+``trace_cache_dir`` overrides only the trace store (traces are produced
+by the cache simulator, not the characterizer, so some deployments keep
+them elsewhere); when unset it defaults to ``<cache_dir>/traces``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.runtime.telemetry import ProgressCallback
+
+#: Subdirectories of ``cache_dir`` used by each persistent store.
+ARRAY_CACHE_SUBDIR = "arrays"
+EVALUATION_CACHE_SUBDIR = "evaluations"
+TRACE_CACHE_SUBDIR = "traces"
+
+
+@dataclass(frozen=True)
+class RuntimeOptions:
+    """Uniform execution options every study honors.
+
+    Attributes
+    ----------
+    workers:
+        Process-pool width for characterization/evaluation fan-out.
+    cache_dir:
+        Root of the persistent cache layout (see module docstring);
+        ``None`` keeps results in memory only.
+    trace_cache_dir:
+        Override for the LLC-trace store; defaults to
+        ``<cache_dir>/traces`` when a cache root is set.
+    on_error:
+        ``"raise"`` aborts on the first framework error; ``"skip"``
+        records it in telemetry and keeps going.
+    progress:
+        Optional callback receiving one
+        :class:`~repro.runtime.telemetry.ProgressEvent` per sweep point
+        or evaluation block.
+    seed:
+        Override for every stochastic component a study touches (fault
+        injection, synthetic streams); ``None`` keeps each study's
+        documented default seed, preserving paper-figure reproducibility.
+    """
+
+    workers: int = 1
+    cache_dir: Optional[Union[str, Path]] = None
+    trace_cache_dir: Optional[Union[str, Path]] = None
+    on_error: str = "raise"
+    progress: Optional[ProgressCallback] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if int(self.workers) < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers!r}")
+        if self.on_error not in ("raise", "skip"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'skip', got {self.on_error!r}"
+            )
+
+    @property
+    def effective_trace_cache_dir(self) -> Optional[Path]:
+        """Where LLC traces persist, or ``None`` when nothing is cached."""
+        if self.trace_cache_dir is not None:
+            return Path(self.trace_cache_dir)
+        if self.cache_dir is not None:
+            return Path(self.cache_dir) / TRACE_CACHE_SUBDIR
+        return None
+
+    def seed_or(self, default: int) -> int:
+        """This run's seed, or the study's documented default."""
+        return default if self.seed is None else int(self.seed)
+
+    def with_progress(self, progress: Optional[ProgressCallback]) -> "RuntimeOptions":
+        """A copy routing progress events to ``progress``."""
+        return replace(self, progress=progress)
+
+    def engine(self):
+        """A :class:`~repro.core.engine.DSEEngine` configured from these options."""
+        # Imported lazily: the engine builds on the runtime package, so a
+        # module-level import here would be circular.  The field mapping
+        # lives in DSEEngine.from_options — one source of truth.
+        from repro.core.engine import DSEEngine
+
+        return DSEEngine.from_options(self)
+
+
+def ensure_runtime(runtime: Optional[RuntimeOptions]) -> RuntimeOptions:
+    """The given options, or serial in-memory defaults."""
+    return runtime if runtime is not None else RuntimeOptions()
+
+
+def engine_for(runtime: Optional[RuntimeOptions]):
+    """Shorthand: an engine for possibly-absent options."""
+    return ensure_runtime(runtime).engine()

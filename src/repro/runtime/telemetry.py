@@ -30,7 +30,7 @@ class ProgressEvent:
     label: str  # human-readable point label
     index: int  # position in the sweep's deterministic order
     total: int  # points in this phase
-    phase: str = "characterize"  # "characterize" | "evaluate"
+    phase: str = "characterize"  # "characterize" | "evaluate" | "trace"
     source: str = ""  # for CACHED: "memory" | "disk"
     error: str = ""  # for FAILED: the error message
 
@@ -55,14 +55,26 @@ class SweepTelemetry:
 
     callback: Optional[ProgressCallback] = None
     completed: int = 0  # characterize-phase points computed fresh
-    cached: int = 0
+    cached: int = 0  # characterize-phase points served from a cache
     failed: int = 0
-    evaluated: int = 0  # evaluate-phase (array x traffic) fan-out units
+    evaluated: int = 0  # evaluate-phase (array x traffic) blocks computed fresh
+    eval_cached: int = 0  # evaluate-phase blocks served from a cache
+    trace_simulated: int = 0  # trace-phase LLC regenerations run fresh
+    trace_cached: int = 0  # trace-phase regenerations served from a cache
     failures: List[ProgressEvent] = field(default_factory=list)
 
     def emit(self, event: ProgressEvent) -> None:
         if event.kind == COMPLETED and event.phase == "evaluate":
             self.evaluated += 1
+            logger.debug("%s", event.describe())
+        elif event.kind == CACHED and event.phase == "evaluate":
+            self.eval_cached += 1
+            logger.debug("%s", event.describe())
+        elif event.kind == COMPLETED and event.phase == "trace":
+            self.trace_simulated += 1
+            logger.debug("%s", event.describe())
+        elif event.kind == CACHED and event.phase == "trace":
+            self.trace_cached += 1
             logger.debug("%s", event.describe())
         elif event.kind == COMPLETED:
             self.completed += 1
@@ -81,11 +93,36 @@ class SweepTelemetry:
     def total(self) -> int:
         return self.completed + self.cached + self.failed
 
+    @property
+    def fresh_work(self) -> int:
+        """Characterizations, evaluation blocks, and trace simulations
+        actually computed (as opposed to served from a cache)."""
+        return self.completed + self.evaluated + self.trace_simulated
+
+    def absorb(self, other: "SweepTelemetry") -> None:
+        """Fold another run's counters into this aggregate."""
+        self.completed += other.completed
+        self.cached += other.cached
+        self.failed += other.failed
+        self.evaluated += other.evaluated
+        self.eval_cached += other.eval_cached
+        self.trace_simulated += other.trace_simulated
+        self.trace_cached += other.trace_cached
+        self.failures.extend(other.failures)
+
     def summary(self) -> str:
         text = (
             f"{self.total} points: {self.completed} characterized, "
             f"{self.cached} cached, {self.failed} failed"
         )
-        if self.evaluated:
-            text += f"; {self.evaluated} arrays evaluated"
+        if self.evaluated or self.eval_cached:
+            text += (
+                f"; {self.evaluated} blocks evaluated, "
+                f"{self.eval_cached} served from cache"
+            )
+        if self.trace_simulated or self.trace_cached:
+            text += (
+                f"; {self.trace_simulated} traces simulated, "
+                f"{self.trace_cached} served from cache"
+            )
         return text

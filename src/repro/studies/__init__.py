@@ -36,6 +36,15 @@ from repro.studies.llc_study import feasible, llc_study, winner_per_benchmark
 from repro.studies.retention_study import retention_study, scrub_burdened_technologies
 from repro.studies.mlc_study import ACCURACY_TOLERANCE, acceptable, mlc_study
 from repro.studies.writebuffer_study import performant_technologies, writebuffer_study
+from repro.studies.pipeline import (
+    REGISTRY,
+    StudyOutcome,
+    StudySpec,
+    get_study,
+    run_study,
+    study_names,
+)
+from repro.runtime.options import RuntimeOptions
 
 __all__ = [
     "ENVM_NODE_NM",
@@ -73,4 +82,11 @@ __all__ = [
     "scrub_burdened_technologies",
     "hierarchy_study",
     "measured_coalescing",
+    "REGISTRY",
+    "RuntimeOptions",
+    "StudyOutcome",
+    "StudySpec",
+    "get_study",
+    "run_study",
+    "study_names",
 ]

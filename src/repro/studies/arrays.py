@@ -14,12 +14,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Optional
+
 from repro.cells import STUDY_TECHNOLOGIES, sram_cell, study_cells
 from repro.cells.base import TechnologyClass
 from repro.cells.database import survey_entries
-from repro.core.engine import DSEEngine, SweepSpec, array_record
+from repro.core.engine import SweepSpec, array_record  # noqa: F401
 from repro.nvsim.result import DEFAULT_TARGET_SWEEP, OptimizationTarget
 from repro.results.table import ResultTable
+from repro.runtime.options import RuntimeOptions, engine_for
 from repro.units import mb
 
 #: eNVM implementation node / SRAM comparison node used throughout.
@@ -30,8 +33,7 @@ SRAM_NODE_NM = 16
 def optimization_target_study(
     capacity_bytes: int = mb(4),
     technologies=STUDY_TECHNOLOGIES,
-    workers: int = 1,
-    cache_dir=None,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> ResultTable:
     """Figure 3: array metrics under various optimization targets."""
     cells = study_cells(tuple(technologies)) + [sram_cell(SRAM_NODE_NM)]
@@ -42,7 +44,7 @@ def optimization_target_study(
         sram_node_nm=SRAM_NODE_NM,
         optimization_targets=DEFAULT_TARGET_SWEEP,
     )
-    return DSEEngine(workers=workers, cache_dir=cache_dir).run(spec)
+    return engine_for(runtime).run(spec)
 
 
 @dataclass(frozen=True)
@@ -118,8 +120,7 @@ def tentpole_validation(
 
 def dnn_buffer_arrays(
     capacity_bytes: int = mb(2),
-    workers: int = 1,
-    cache_dir=None,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> ResultTable:
     """Figure 5: 2 MB arrays provisioned to replace the NVDLA buffer."""
     cells = study_cells(STUDY_TECHNOLOGIES) + [sram_cell(SRAM_NODE_NM)]
@@ -131,13 +132,12 @@ def dnn_buffer_arrays(
         optimization_targets=(OptimizationTarget.READ_EDP,),
         access_bits=512,
     )
-    return DSEEngine(workers=workers, cache_dir=cache_dir).run(spec)
+    return engine_for(runtime).run(spec)
 
 
 def llc_arrays(
     capacity_bytes: int = mb(16),
-    workers: int = 1,
-    cache_dir=None,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> ResultTable:
     """Figure 10: 16 MB LLC-candidate arrays (64 B line access)."""
     cells = study_cells(STUDY_TECHNOLOGIES) + [sram_cell(SRAM_NODE_NM)]
@@ -152,4 +152,4 @@ def llc_arrays(
         ),
         access_bits=512,
     )
-    return DSEEngine(workers=workers, cache_dir=cache_dir).run(spec)
+    return engine_for(runtime).run(spec)

@@ -11,14 +11,15 @@
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 from repro.cells import back_gated_fefet, sram_cell, study_cells, tentpoles_for
 from repro.cells.base import TechnologyClass
-from repro.core.engine import DSEEngine, SweepSpec, evaluation_record
-from repro.core.metrics import evaluate
+from repro.core.engine import SweepSpec
 from repro.nvsim import all_organizations
 from repro.nvsim.result import OptimizationTarget
 from repro.results.table import ResultTable
+from repro.runtime.options import RuntimeOptions, engine_for
 from repro.studies.arrays import ENVM_NODE_NM, SRAM_NODE_NM
 from repro.traffic.generic import graph_envelope_sweep
 from repro.traffic.graph import wikipedia_bfs_traffic
@@ -28,7 +29,10 @@ from repro.units import mb
 CODESIGN_CAPACITY = mb(8)
 
 
-def back_gated_fefet_study(points_per_axis: int = 3) -> ResultTable:
+def back_gated_fefet_study(
+    points_per_axis: int = 3,
+    runtime: Optional[RuntimeOptions] = None,
+) -> ResultTable:
     """Figure 11: back-gated FeFET vs. standard FeFETs vs. SRAM at 8 MB."""
     tent = tentpoles_for(TechnologyClass.FEFET)
     cells = [
@@ -49,30 +53,38 @@ def back_gated_fefet_study(points_per_axis: int = 3) -> ResultTable:
         optimization_targets=(OptimizationTarget.READ_EDP,),
         access_bits=64,
     )
-    return DSEEngine().run(spec)
+    return engine_for(runtime).run(spec)
 
 
 def area_efficiency_study(
     capacity_bytes: int = CODESIGN_CAPACITY,
     traffic_points: int = 3,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> ResultTable:
     """Figure 12: the organization cloud, annotated with area efficiency.
 
     Every feasible internal organization of every study technology is
     evaluated under a spread of traffic patterns; rows carry area
     efficiency so callers can apply the paper's "maximum area efficiency"
-    filter and inspect the latency structure.
+    filter and inspect the latency structure.  The (organization x
+    traffic) evaluation layer runs through the engine's block cache, so
+    warm re-runs skip it.
     """
+    engine = engine_for(runtime)
     traffic = graph_envelope_sweep(points_per_axis=traffic_points)
+    arrays = [
+        array
+        for tech in (TechnologyClass.STT, TechnologyClass.PCM,
+                     TechnologyClass.RRAM, TechnologyClass.FEFET)
+        for array in all_organizations(
+            tentpoles_for(tech).optimistic, capacity_bytes, node_nm=ENVM_NODE_NM
+        )
+    ]
     table = ResultTable()
-    for tech in (TechnologyClass.STT, TechnologyClass.PCM,
-                 TechnologyClass.RRAM, TechnologyClass.FEFET):
-        cell = tentpoles_for(tech).optimistic
-        for array in all_organizations(cell, capacity_bytes, node_nm=ENVM_NODE_NM):
-            for pattern in traffic:
-                row = evaluation_record(evaluate(array, pattern))
-                row["organization"] = array.organization.describe()
-                table.append(row)
+    for array, rows in zip(arrays, engine.evaluate_blocks(arrays, traffic)):
+        for row in rows:
+            row["organization"] = array.organization.describe()
+            table.append(row)
     return table
 
 

@@ -20,12 +20,12 @@ from typing import Optional, Sequence
 
 from repro.cells import STUDY_TECHNOLOGIES, CellTechnology, sram_cell, tentpoles_for
 from repro.cells.base import TechnologyClass
-from repro.core.engine import DSEEngine, SweepSpec, evaluation_record
+from repro.core.engine import SweepSpec
 from repro.core.intermittent import crossover_rate, evaluate_intermittent
-from repro.core.metrics import evaluate
 from repro.nvsim import characterize
 from repro.nvsim.result import OptimizationTarget
 from repro.results.table import ResultTable
+from repro.runtime.options import RuntimeOptions, engine_for
 from repro.studies.arrays import ENVM_NODE_NM, SRAM_NODE_NM
 from repro.traffic.dnn import (
     ALBERT,
@@ -65,7 +65,10 @@ def _all_cells() -> list[CellTechnology]:
     return [cell for _, cell in cells]
 
 
-def continuous_study(buffer_mb: float = 2.0) -> ResultTable:
+def continuous_study(
+    buffer_mb: float = 2.0,
+    runtime: Optional[RuntimeOptions] = None,
+) -> ResultTable:
     """Figure 6 (left): operating power under continuous 60 FPS traffic.
 
     Rows that cannot meet the frame-rate (slowdown > 1) are marked
@@ -82,7 +85,7 @@ def continuous_study(buffer_mb: float = 2.0) -> ResultTable:
         optimization_targets=(OptimizationTarget.READ_EDP,),
         access_bits=512,
     )
-    table = DSEEngine().run(spec)
+    table = engine_for(runtime).run(spec)
     return table.with_column(
         "meets_fps",
         lambda r: bool(r["feasible"]) and r["memory_latency_s_per_s"] <= LATENCY_TARGET_S_PER_S,
@@ -102,16 +105,17 @@ INTERMITTENT_WORKLOADS: tuple[tuple[DNNWorkload, int], ...] = (
 
 def intermittent_study(
     inferences_per_day: float = SECONDS_PER_DAY,  # 1 inference per second
+    runtime: Optional[RuntimeOptions] = None,
 ) -> ResultTable:
     """Figure 6 (right): energy per inference, weights resident in eNVM."""
+    engine = engine_for(runtime)
     table = ResultTable()
     for workload, capacity in INTERMITTENT_WORKLOADS:
         for tech in DNN_STUDY_TECHNOLOGIES:
             for flavor, cell in tentpoles_for(tech).labelled():
-                array = characterize(
-                    cell, capacity, node_nm=ENVM_NODE_NM,
-                    optimization_target=OptimizationTarget.READ_EDP,
-                    access_bits=512,
+                array = engine.characterize(
+                    cell, capacity, ENVM_NODE_NM,
+                    OptimizationTarget.READ_EDP, 512, 1,
                 )
                 ev = evaluate_intermittent(array, workload, inferences_per_day)
                 table.append(
@@ -188,7 +192,9 @@ class PreferredChoice:
     pessimistic_winner: str
 
 
-def preferred_technologies() -> list[PreferredChoice]:
+def preferred_technologies(
+    runtime: Optional[RuntimeOptions] = None,
+) -> list[PreferredChoice]:
     """Table II: preferred eNVM per use case / storage / priority.
 
     "Low power" (continuous) and "low energy per inference" (intermittent)
@@ -197,7 +203,7 @@ def preferred_technologies() -> list[PreferredChoice]:
     """
     choices: list[PreferredChoice] = []
 
-    continuous = continuous_study()
+    continuous = continuous_study(runtime=runtime)
     for workload in continuous.unique("workload"):
         rows = continuous.where(workload=workload).filter(
             lambda r: r["tech"] != "SRAM" and r["meets_fps"]
@@ -226,7 +232,7 @@ def preferred_technologies() -> list[PreferredChoice]:
                 )
             )
 
-    intermittent = intermittent_study()
+    intermittent = intermittent_study(runtime=runtime)
     for workload in intermittent.unique("workload"):
         rows = intermittent.where(workload=workload)
         for priority, column, mode in (

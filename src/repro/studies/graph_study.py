@@ -12,8 +12,9 @@ from typing import Optional
 
 from repro.cells import STUDY_TECHNOLOGIES, sram_cell, study_cells, tentpoles_for
 from repro.cells.base import TechnologyClass
-from repro.core.engine import DSEEngine, SweepSpec
+from repro.core.engine import SweepSpec
 from repro.results.table import ResultTable
+from repro.runtime.options import RuntimeOptions, engine_for
 from repro.studies.arrays import ENVM_NODE_NM, SRAM_NODE_NM
 from repro.nvsim.result import OptimizationTarget
 from repro.traffic.generic import graph_envelope_sweep
@@ -30,8 +31,7 @@ def graph_study(
     points_per_axis: int = 4,
     include_kernels: bool = True,
     capacity_bytes: int = SCRATCHPAD_BYTES,
-    workers: int = 1,
-    cache_dir=None,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> ResultTable:
     """Figure 8: generic graph traffic (+ BFS kernel points) on 8 MB arrays."""
     traffic = graph_envelope_sweep(points_per_axis=points_per_axis)
@@ -47,7 +47,7 @@ def graph_study(
         optimization_targets=(OptimizationTarget.READ_EDP,),
         access_bits=64,
     )
-    return DSEEngine(workers=workers, cache_dir=cache_dir).run(spec)
+    return engine_for(runtime).run(spec)
 
 
 def lowest_power_technology(

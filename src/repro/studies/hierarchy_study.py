@@ -10,15 +10,16 @@ backing technology.
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import Optional
 
 from repro.cachesim import zipfian_batch
 from repro.cells import tentpoles_for
 from repro.cells.base import TechnologyClass
 from repro.core.hierarchy import evaluate_hierarchy
 from repro.core.writebuffer import coalescing_factor
-from repro.nvsim import characterize
 from repro.nvsim.result import OptimizationTarget
 from repro.results.table import ResultTable
+from repro.runtime.options import RuntimeOptions, ensure_runtime
 from repro.studies.arrays import ENVM_NODE_NM
 from repro.traffic.graph import facebook_bfs_traffic
 from repro.units import kb, mb
@@ -42,23 +43,38 @@ def hierarchy_study(
                    TechnologyClass.RRAM),
     front_sizes_kb=FRONT_SIZES_KB,
     read_hit_rate: float = 0.3,
+    traffic_source: str = "bfs",
+    runtime: Optional[RuntimeOptions] = None,
 ) -> ResultTable:
-    """STT-front hierarchies over several backing eNVMs."""
-    traffic = facebook_bfs_traffic()
+    """STT-front hierarchies over several backing eNVMs.
+
+    ``traffic_source="bfs"`` uses the measured Facebook-BFS pattern;
+    ``"synthetic-llc"`` regenerates traffic through the cache simulator,
+    persisting the trace in the runtime's trace cache.
+    """
+    runtime = ensure_runtime(runtime)
+    engine = runtime.engine()
+    if traffic_source == "synthetic-llc":
+        # Imported lazily: only this variant needs the simulator.
+        from repro.cachesim.llc import SYNTHETIC_SUITE
+        from repro.studies.llc_study import regenerated_traffic
+
+        traffic = regenerated_traffic(SYNTHETIC_SUITE[1:2], runtime)[0]
+    else:
+        traffic = facebook_bfs_traffic()
     front_cell = tentpoles_for(TechnologyClass.STT).optimistic
     table = ResultTable()
     for tech in backing_techs:
-        backing = characterize(
+        backing = engine.characterize(
             tentpoles_for(tech).optimistic, BACKING_CAPACITY,
-            node_nm=ENVM_NODE_NM,
-            optimization_target=OptimizationTarget.READ_EDP,
+            ENVM_NODE_NM, OptimizationTarget.READ_EDP, 64, 1,
         )
         for front_kb in front_sizes_kb:
-            front = characterize(
-                front_cell, kb(front_kb), node_nm=ENVM_NODE_NM,
-                optimization_target=OptimizationTarget.READ_LATENCY,
+            front = engine.characterize(
+                front_cell, kb(front_kb), ENVM_NODE_NM,
+                OptimizationTarget.READ_LATENCY, 64, 1,
             )
-            coalescing = measured_coalescing(front_kb)
+            coalescing = measured_coalescing(front_kb, seed=runtime.seed_or(5))
             combo = evaluate_hierarchy(
                 front, backing, traffic,
                 read_hit_rate=read_hit_rate,

@@ -12,15 +12,16 @@ larger cell sizes".
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import Optional
 
 from repro.cells import tentpoles_for
 from repro.cells.base import CellTechnology, TechnologyClass
-from repro.core.engine import array_record
+from repro.core.metrics import array_record
 from repro.dnn.proxies import trained_proxy
 from repro.faults.models import FAULT_MODELLED_TECHNOLOGIES, fault_model_for
-from repro.nvsim import characterize
 from repro.nvsim.result import OptimizationTarget
 from repro.results.table import ResultTable
+from repro.runtime.options import RuntimeOptions, ensure_runtime
 from repro.studies.arrays import ENVM_NODE_NM
 from repro.units import mb
 
@@ -40,8 +41,11 @@ def mlc_study(
     capacities=(mb(8), mb(16)),
     workload: str = "resnet18",
     trials: int = 3,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> ResultTable:
     """Figure 13: density/performance vs. fault-injected accuracy."""
+    runtime = ensure_runtime(runtime)
+    engine = runtime.engine()
     proxy = trained_proxy(workload)
     table = ResultTable()
 
@@ -55,12 +59,13 @@ def mlc_study(
     for cell in cells:
         for bits in (1, 2):
             model = fault_model_for(cell, bits)
-            accuracy = proxy.accuracy_under_model(model, trials=trials)
+            accuracy = proxy.accuracy_under_model(
+                model, trials=trials, seed=runtime.seed_or(0)
+            )
             for capacity in capacities:
-                array = characterize(
-                    cell, capacity, node_nm=ENVM_NODE_NM,
-                    optimization_target=OptimizationTarget.READ_EDP,
-                    bits_per_cell=bits,
+                array = engine.characterize(
+                    cell, capacity, ENVM_NODE_NM,
+                    OptimizationTarget.READ_EDP, 64, bits,
                 )
                 row = array_record(array)
                 row.update(

@@ -1,0 +1,255 @@
+"""The unified study pipeline: a registry of uniformly-runnable studies.
+
+Every paper study is described by one :class:`StudySpec` — its builder,
+default parameters, report options, and the figure it reproduces — and
+**every** spec runs the same way: ``spec.run(RuntimeOptions(...))``.
+The shared :class:`~repro.runtime.options.RuntimeOptions` (workers,
+cache_dir, trace_cache_dir, on_error, progress, seed) is threaded down
+through :class:`~repro.core.engine.DSEEngine` by every builder, so
+parallelism and the persistent characterization / evaluation / trace
+caches work identically across the whole suite — no signature probing,
+no per-study shims.
+
+The registry is the single source of truth for the study CLI
+(``python -m repro.config.cli run-study <name>``), the summary driver
+(``python -m repro.studies.summary``), and the shipped per-study config
+stubs under ``config/studies/``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+from repro.errors import ReproError
+from repro.results.table import ResultTable
+from repro.runtime.options import RuntimeOptions, ensure_runtime
+from repro.runtime.telemetry import SweepTelemetry
+from repro.studies.arrays import dnn_buffer_arrays, llc_arrays, optimization_target_study
+from repro.studies.codesign import area_efficiency_study, back_gated_fefet_study
+from repro.studies.dnn_study import continuous_study, intermittent_study
+from repro.studies.graph_study import graph_study
+from repro.studies.hierarchy_study import hierarchy_study
+from repro.studies.llc_study import llc_study
+from repro.studies.mlc_study import mlc_study
+from repro.studies.retention_study import retention_study
+from repro.studies.writebuffer_study import writebuffer_study
+
+
+@dataclass(frozen=True)
+class StudyOutcome:
+    """One study run: its table, aggregated telemetry, and timing."""
+
+    name: str
+    table: Optional[ResultTable]
+    telemetry: SweepTelemetry
+    elapsed_s: float
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def rows(self) -> int:
+        return 0 if self.table is None else len(self.table)
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """One registered study: builder, defaults, and reporting metadata."""
+
+    name: str
+    builder: Callable[..., ResultTable]
+    figure: str  # paper figure/table tag, e.g. "Fig. 9"
+    description: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    report: Mapping[str, Any] = field(default_factory=dict)  # study_report kwargs
+
+    def run(
+        self,
+        runtime: Optional[RuntimeOptions] = None,
+        **overrides: Any,
+    ) -> StudyOutcome:
+        """Run the study under shared runtime options.
+
+        ``overrides`` replace the spec's default parameters.  Telemetry
+        from every engine the builder creates is aggregated into the
+        outcome (and still forwarded to ``runtime.progress``).  Under
+        ``on_error="skip"`` a framework error becomes a failed outcome
+        instead of an exception.
+        """
+        runtime = ensure_runtime(runtime)
+        telemetry = SweepTelemetry(runtime.progress)
+        kwargs = {**self.params, **overrides}
+        start = time.perf_counter()
+        table = None
+        error = None
+        try:
+            table = self.builder(**kwargs, runtime=runtime.with_progress(telemetry.emit))
+        except ReproError as exc:
+            if runtime.on_error != "skip":
+                raise
+            error = str(exc)
+        return StudyOutcome(
+            name=self.name,
+            table=table,
+            telemetry=telemetry,
+            elapsed_s=time.perf_counter() - start,
+            error=error,
+        )
+
+
+def _registry(*specs: StudySpec) -> dict[str, StudySpec]:
+    out: dict[str, StudySpec] = {}
+    for spec in specs:
+        if spec.name in out:
+            raise ValueError(f"duplicate study name {spec.name!r}")
+        out[spec.name] = spec
+    return out
+
+
+#: Every paper study, keyed by registry name (the CLI/summary interface).
+REGISTRY: dict[str, StudySpec] = _registry(
+    StudySpec(
+        name="fig03_array_targets",
+        builder=optimization_target_study,
+        figure="Fig. 3",
+        description="Iso-capacity arrays across optimization targets vs. SRAM.",
+        report={"winner_column": None},
+    ),
+    StudySpec(
+        name="fig05_dnn_arrays",
+        builder=dnn_buffer_arrays,
+        figure="Fig. 5",
+        description="2 MB NVDLA-buffer replacement arrays.",
+        report={"winner_column": None},
+    ),
+    StudySpec(
+        name="fig06_dnn_continuous",
+        builder=continuous_study,
+        figure="Fig. 6 (left)",
+        description="Operating power under continuous 60 FPS DNN traffic.",
+    ),
+    StudySpec(
+        name="fig06_dnn_intermittent",
+        builder=intermittent_study,
+        figure="Fig. 6 (right)",
+        description="Energy per inference with weights resident in eNVM.",
+        report={"winner_column": "energy_per_inference_uj"},
+    ),
+    StudySpec(
+        name="fig08_graph",
+        builder=graph_study,
+        figure="Fig. 8",
+        description="Graph-kernel traffic envelopes on 8 MB scratchpads.",
+        params={"points_per_axis": 3},
+    ),
+    StudySpec(
+        name="fig09_spec_llc",
+        builder=llc_study,
+        figure="Fig. 9",
+        description="SPEC CPU2017 traffic against 16 MB LLC candidates.",
+    ),
+    StudySpec(
+        name="fig10_llc_arrays",
+        builder=llc_arrays,
+        figure="Fig. 10",
+        description="16 MB LLC-candidate arrays (64 B line access).",
+        report={"winner_column": None},
+    ),
+    StudySpec(
+        name="fig11_bg_fefet",
+        builder=back_gated_fefet_study,
+        figure="Fig. 11",
+        description="Back-gated FeFET co-design vs. standard FeFETs.",
+        params={"points_per_axis": 2},
+    ),
+    StudySpec(
+        name="fig12_area_efficiency",
+        builder=area_efficiency_study,
+        figure="Fig. 12",
+        description="Organization cloud annotated with area efficiency.",
+        params={"traffic_points": 2},
+        report={"winner_column": None},
+    ),
+    StudySpec(
+        name="fig13_mlc",
+        builder=mlc_study,
+        figure="Fig. 13",
+        description="SLC vs. MLC density and fault-injected accuracy.",
+        params={"trials": 2},
+        report={"winner_column": None},
+    ),
+    StudySpec(
+        name="fig14_writebuffer",
+        builder=writebuffer_study,
+        figure="Fig. 14",
+        description="Write-buffer masking/coalescing what-if scenarios.",
+    ),
+    StudySpec(
+        name="ext_retention",
+        builder=retention_study,
+        figure="extension",
+        description="Retention-enforced scrubbing costs for intermittent DNN.",
+        report={"winner_column": None},
+    ),
+    StudySpec(
+        name="ext_hierarchy",
+        builder=hierarchy_study,
+        figure="extension",
+        description="STT-front two-level hierarchies over backing eNVMs.",
+        report={"winner_column": None},
+    ),
+    StudySpec(
+        name="ext_synthetic_llc",
+        builder=llc_study,
+        figure="Fig. 9 (regenerated)",
+        description=(
+            "LLC study on cache-simulator-regenerated traffic "
+            "(exercises the persistent trace cache)."
+        ),
+        params={"source": "synthetic", "n_accesses": 60_000},
+    ),
+)
+
+
+def study_names() -> list[str]:
+    """Registered study names, in registry (paper figure) order."""
+    return list(REGISTRY)
+
+
+def describe_registry() -> str:
+    """One aligned line per registered study (the ``--list`` output)."""
+    return "\n".join(
+        f"{name:26s} {spec.figure:20s} {spec.description}"
+        for name, spec in REGISTRY.items()
+    )
+
+
+def get_study(name: str) -> StudySpec:
+    """The spec for ``name``; raises :class:`ReproError` when unknown."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        known = ", ".join(REGISTRY)
+        raise ReproError(f"unknown study {name!r} (known: {known})") from None
+
+
+def run_study(
+    name: str,
+    runtime: Optional[RuntimeOptions] = None,
+    **overrides: Any,
+) -> ResultTable:
+    """Run one registered study and return its table.
+
+    The single-study convenience wrapper used by the CLI; failures raise
+    regardless of ``on_error`` (a lone study has nothing to keep going
+    for — pass ``on_error="skip"`` to :meth:`StudySpec.run` and inspect
+    the outcome to tolerate them).
+    """
+    outcome = get_study(name).run(runtime, **overrides)
+    if outcome.table is None:
+        raise ReproError(f"study {name!r} failed: {outcome.error}")
+    return outcome.table

@@ -9,12 +9,14 @@ Figure 7 picture changes once retention is enforced.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.cells import tentpoles_for
 from repro.cells.base import TechnologyClass
 from repro.core.retention import deployment_check, max_unpowered_interval
-from repro.nvsim import characterize
 from repro.nvsim.result import OptimizationTarget
 from repro.results.table import ResultTable
+from repro.runtime.options import RuntimeOptions, engine_for
 from repro.studies.arrays import ENVM_NODE_NM
 from repro.studies.dnn_study import DNN_STUDY_TECHNOLOGIES
 from repro.units import SECONDS_PER_DAY, mb
@@ -23,15 +25,16 @@ from repro.units import SECONDS_PER_DAY, mb
 def retention_study(
     capacity_bytes: int = mb(8),
     inferences_per_day=(1.0, 10.0, 1e3, 1e5),
+    runtime: Optional[RuntimeOptions] = None,
 ) -> ResultTable:
     """Scrubbing requirements across technologies and wake-up rates."""
+    engine = engine_for(runtime)
     table = ResultTable()
     for tech in DNN_STUDY_TECHNOLOGIES:
         for flavor, cell in tentpoles_for(tech).labelled():
-            array = characterize(
-                cell, capacity_bytes, node_nm=ENVM_NODE_NM,
-                optimization_target=OptimizationTarget.READ_EDP,
-                access_bits=512,
+            array = engine.characterize(
+                cell, capacity_bytes, ENVM_NODE_NM,
+                OptimizationTarget.READ_EDP, 512, 1,
             )
             limit = max_unpowered_interval(array)
             for rate in inferences_per_day:

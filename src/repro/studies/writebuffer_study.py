@@ -8,14 +8,15 @@ reduce traffic 25% / 50%) and report which technologies become performant
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import asdict
+from typing import Any, Optional, Sequence
 
 from repro.cells import STUDY_TECHNOLOGIES, sram_cell, study_cells
-from repro.core.engine import evaluation_record
+from repro.core.metrics import evaluation_record
 from repro.core.writebuffer import DEFAULT_SCENARIOS, WriteBufferConfig, evaluate_with_buffer
-from repro.nvsim import characterize
 from repro.nvsim.result import OptimizationTarget
 from repro.results.table import ResultTable
+from repro.runtime.options import RuntimeOptions, engine_for
 from repro.studies.arrays import ENVM_NODE_NM, SRAM_NODE_NM
 from repro.traffic.base import TrafficPattern
 from repro.traffic.graph import facebook_bfs_traffic
@@ -25,9 +26,29 @@ from repro.units import mb
 STUDY_CAPACITY = mb(8)
 
 
+def _scenario_rows(array, traffic, extra: Any) -> list[dict]:
+    """Block evaluator: every (traffic, write-buffer scenario) row.
+
+    ``extra`` is the JSON-able scenario list (it participates in the
+    evaluation-cache fingerprint, so changing the scenario sweep
+    invalidates cached blocks).
+    """
+    scenarios = [WriteBufferConfig(**config) for config in extra]
+    rows = []
+    for pattern in traffic:
+        for config in scenarios:
+            ev = evaluate_with_buffer(array, pattern, config)
+            row = evaluation_record(ev)
+            row["scenario"] = config.label
+            row["base_workload"] = pattern.name
+            rows.append(row)
+    return rows
+
+
 def writebuffer_study(
     workloads: Sequence[TrafficPattern] = (),
     scenarios: Sequence[WriteBufferConfig] = DEFAULT_SCENARIOS,
+    runtime: Optional[RuntimeOptions] = None,
 ) -> ResultTable:
     """Figure 14: eNVM power/latency across write-buffer scenarios."""
     if not workloads:
@@ -36,22 +57,24 @@ def writebuffer_study(
             spec_traffic(benchmark_by_name("605.mcf_s")),
             spec_traffic(benchmark_by_name("619.lbm_s")),
         )
-    table = ResultTable()
+    engine = engine_for(runtime)
     cells = study_cells(STUDY_TECHNOLOGIES, include_reference=False)
+    arrays = []
     for cell in cells + [sram_cell(SRAM_NODE_NM)]:
         node = ENVM_NODE_NM if cell.tech_class.is_nonvolatile else SRAM_NODE_NM
-        array = characterize(
-            cell, STUDY_CAPACITY, node_nm=node,
-            optimization_target=OptimizationTarget.READ_EDP,
-            access_bits=64,
-        )
-        for traffic in workloads:
-            for config in scenarios:
-                ev = evaluate_with_buffer(array, traffic, config)
-                row = evaluation_record(ev)
-                row["scenario"] = config.label
-                row["base_workload"] = traffic.name
-                table.append(row)
+        arrays.append(engine.characterize(
+            cell, STUDY_CAPACITY, node,
+            OptimizationTarget.READ_EDP, 64, 1,
+        ))
+    blocks = engine.evaluate_blocks(
+        arrays, tuple(workloads),
+        rows_fn=_scenario_rows,
+        extra=[asdict(config) for config in scenarios],
+    )
+    table = ResultTable()
+    for rows in blocks:
+        for row in rows:
+            table.append(row)
     return table
 
 

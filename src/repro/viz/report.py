@@ -30,13 +30,17 @@ def study_report(
     include_views: Sequence[str] = ("power", "latency", "lifetime", "array"),
     winner_column: Optional[str] = "total_power_mw",
     group_column: str = "workload",
+    figure: Optional[str] = None,
 ) -> str:
     """Render a study into a markdown report.
 
     Includes the standard dashboard views, a winners-per-group table when
     ``winner_column`` is set, and the full data as a markdown table.
+    ``figure`` tags the paper figure the study reproduces.
     """
     sections: list[str] = [f"# {title}", ""]
+    if figure:
+        sections += [f"*Reproduces paper {figure}.*", ""]
     if description:
         sections += [description, ""]
     sections.append(f"*{len(table)} evaluation rows.*\n")

@@ -1,10 +1,18 @@
 """Configuration schema, loader, and CLI tests."""
 
 import json
+from pathlib import Path
 
 import pytest
 
-from repro.config import load_config, parse_config, run_config
+from repro.config import (
+    is_study_config,
+    load_config,
+    parse_config,
+    parse_study_config,
+    run_config,
+    run_study_config,
+)
 from repro.config.cli import main as cli_main
 from repro.errors import ConfigError
 
@@ -161,3 +169,122 @@ class TestCLI:
     def test_cli_error_path(self, tmp_path, capsys):
         assert cli_main([str(tmp_path / "missing.json")]) == 1
         assert "error" in capsys.readouterr().err
+
+
+def study_config(**overrides):
+    config = {
+        "study": "ext_hierarchy",
+        "params": {"read_hit_rate": 0.5},
+        "runtime": {"workers": 1},
+    }
+    config.update(overrides)
+    return config
+
+
+class TestRuntimeSectionExtensions:
+    def test_trace_cache_dir_and_seed_parsed(self):
+        parsed = parse_config(minimal_config(
+            runtime={"workers": 2, "cache_dir": "c",
+                     "trace_cache_dir": "t", "seed": 11}
+        ))
+        assert parsed.trace_cache_dir == "t"
+        assert parsed.seed == 11
+        options = parsed.runtime_options()
+        assert options.workers == 2
+        assert str(options.effective_trace_cache_dir) == "t"
+        assert options.seed == 11
+
+    def test_trace_cache_defaults_from_cache_dir(self):
+        options = parse_config(minimal_config(
+            runtime={"cache_dir": "root"}
+        )).runtime_options()
+        assert str(options.effective_trace_cache_dir) == str(Path("root") / "traces")
+
+
+class TestStudyConfig:
+    def test_parse_study_config(self):
+        parsed = parse_study_config(study_config())
+        assert parsed.study == "ext_hierarchy"
+        assert parsed.params == {"read_hit_rate": 0.5}
+        assert parsed.runtime.workers == 1
+
+    def test_unknown_study_rejected(self):
+        with pytest.raises(ConfigError, match="unknown study"):
+            parse_study_config(study_config(study="fig99_flying_cars"))
+
+    def test_missing_study_key_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_study_config({"params": {}})
+
+    def test_is_study_config(self):
+        assert is_study_config(study_config())
+        assert not is_study_config(minimal_config())
+
+    def test_load_config_rejects_study_configs(self, tmp_path):
+        path = tmp_path / "study.json"
+        path.write_text(json.dumps(study_config()))
+        with pytest.raises(ConfigError, match="registered-study"):
+            load_config(path)
+
+    def test_run_study_config_writes_artifacts(self, tmp_path):
+        config = study_config(
+            output_csv=str(tmp_path / "h.csv"),
+            report_md=str(tmp_path / "h.md"),
+        )
+        table = run_study_config(config)
+        assert len(table) == 9
+        assert (tmp_path / "h.csv").exists()
+        report = (tmp_path / "h.md").read_text()
+        assert "Reproduces paper" in report
+
+    def test_run_study_config_bad_param_rejected(self):
+        with pytest.raises(ConfigError, match="bad params"):
+            run_study_config(study_config(params={"warp_factor": 9}))
+
+    def test_run_study_config_runtime_overrides(self, tmp_path):
+        cache = tmp_path / "cache"
+        run_study_config(study_config(), cache_dir=str(cache))
+        assert (cache / "arrays").exists()
+
+
+class TestStudyCLI:
+    def test_list_studies(self, capsys):
+        assert cli_main(["list-studies"]) == 0
+        assert "fig09_spec_llc" in capsys.readouterr().out
+
+    def test_run_study_happy_path(self, tmp_path, capsys):
+        out_csv = tmp_path / "h.csv"
+        code = cli_main(["run-study", "ext_hierarchy", "--csv", str(out_csv)])
+        assert code == 0
+        assert out_csv.exists()
+        assert "9 result rows" in capsys.readouterr().out
+
+    def test_run_study_param_override(self, capsys):
+        code = cli_main([
+            "run-study", "ext_hierarchy",
+            "--param", "front_sizes_kb=[16]", "--table",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 result rows" in out
+
+    def test_run_study_unknown_name(self, capsys):
+        assert cli_main(["run-study", "fig99_flying_cars"]) == 1
+        assert "unknown study" in capsys.readouterr().err
+
+    def test_run_study_bad_param_syntax(self, capsys):
+        assert cli_main(["run-study", "ext_hierarchy", "--param", "oops"]) == 1
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_study_config_file_dispatched(self, tmp_path, capsys):
+        path = tmp_path / "study.json"
+        path.write_text(json.dumps(study_config()))
+        assert cli_main([str(path)]) == 0
+        assert "9 result rows" in capsys.readouterr().out
+
+    def test_runtime_flags_forwarded(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(minimal_config()))
+        cache = tmp_path / "cache"
+        assert cli_main([str(path), "--cache-dir", str(cache)]) == 0
+        assert (cache / "arrays").exists()

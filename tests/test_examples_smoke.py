@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "fault_injection_tool.py",
     "heterogeneous_hierarchy.py",
     "parallel_sweep.py",
+    "study_pipeline.py",
 ]
 
 
@@ -40,4 +41,5 @@ def test_all_examples_present():
         "fault_injection_tool.py",
         "heterogeneous_hierarchy.py",
         "parallel_sweep.py",
+        "study_pipeline.py",
     } <= names

@@ -9,17 +9,23 @@ from repro.cells import TechnologyClass, sram_cell, tentpoles_for
 from repro.cells.export import cell_from_dict, cell_to_dict
 from repro.config import parse_config
 from repro.core.engine import DSEEngine, SweepSpec
+from repro.core.metrics import evaluation_rows
 from repro.errors import CharacterizationError, ConfigError
 from repro.nvsim.result import ArrayCharacterization, OptimizationTarget
 from repro.runtime import (
     CharacterizationCache,
+    EvaluationCache,
+    RuntimeOptions,
     SweepPoint,
     SweepTelemetry,
     characterize_points,
+    evaluate_blocks,
+    evaluation_fingerprint,
     parallel_map,
     point_fingerprint,
     sweep_points,
 )
+from repro.runtime.executor import rows_fn_id
 from repro.traffic import TrafficPattern
 from repro.units import mb
 
@@ -199,6 +205,163 @@ class TestExecutor:
             characterize_points([make_point(stt_optimistic)], on_error="ignore")
 
 
+def _traffic_pair():
+    return (
+        TrafficPattern("read-heavy", reads_per_second=1e8, writes_per_second=1e6),
+        TrafficPattern("write-heavy", reads_per_second=1e6, writes_per_second=1e7),
+    )
+
+
+class TestEvaluationFingerprint:
+    def test_traffic_and_array_and_extra_change_the_key(self, stt_array_1mb):
+        traffic = _traffic_pair()
+        fn = rows_fn_id(evaluation_rows)
+        base = evaluation_fingerprint(stt_array_1mb, traffic, rows_fn_id=fn)
+        assert base != evaluation_fingerprint(
+            stt_array_1mb, traffic[:1], rows_fn_id=fn)
+        assert base != evaluation_fingerprint(
+            stt_array_1mb, traffic, rows_fn_id=fn, extra=[1])
+        assert base != evaluation_fingerprint(
+            stt_array_1mb, traffic, rows_fn_id="other:fn")
+        assert base != evaluation_fingerprint(
+            stt_array_1mb, traffic, rows_fn_id=fn, schema_tag="eval-rows-v2")
+
+    def test_deterministic_across_reconstruction(self, stt_array_1mb):
+        rebuilt = ArrayCharacterization.from_dict(stt_array_1mb.to_dict())
+        traffic = _traffic_pair()
+        fn = rows_fn_id(evaluation_rows)
+        assert (evaluation_fingerprint(stt_array_1mb, traffic, rows_fn_id=fn)
+                == evaluation_fingerprint(rebuilt, traffic, rows_fn_id=fn))
+
+
+class TestEvaluationCache:
+    def rows(self, stt_array_1mb):
+        return evaluation_rows(stt_array_1mb, _traffic_pair())
+
+    def test_miss_then_hit_roundtrips_rows(self, tmp_path, stt_array_1mb):
+        cache = EvaluationCache(tmp_path)
+        rows = self.rows(stt_array_1mb)
+        fp = evaluation_fingerprint(
+            stt_array_1mb, _traffic_pair(), rows_fn_id=rows_fn_id(evaluation_rows))
+        assert cache.load(fp) is None
+        cache.store(fp, rows)
+        assert cache.load(fp) == rows  # exact cross-run parity, incl. floats
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+
+    def test_schema_tag_bump_invalidates(self, tmp_path, stt_array_1mb):
+        rows = self.rows(stt_array_1mb)
+        EvaluationCache(tmp_path, schema_tag="eval-rows-v1").store("ab" * 32, rows)
+        bumped = EvaluationCache(tmp_path, schema_tag="eval-rows-v2")
+        assert bumped.load("ab" * 32) is None
+
+    def test_malformed_payload_is_a_miss(self, tmp_path):
+        cache = EvaluationCache(tmp_path)
+        cache.store("cd" * 32, [{"a": 1}])
+        # Corrupt the payload into a non-list: decode must treat as miss.
+        path = cache.path_for("cd" * 32)
+        text = path.read_text().replace('[{"a": 1}]', '{"a": 1}')
+        path.write_text(text)
+        assert cache.load("cd" * 32) is None
+
+
+def _tagged_rows(array, traffic, extra):
+    return [{"cell": array.cell.name, "workload": t.name, "tag": extra}
+            for t in traffic]
+
+
+class TestEvaluateBlocks:
+    def arrays(self, stt_array_1mb):
+        return [stt_array_1mb]
+
+    def test_serial_and_parallel_identical(self, stt_optimistic, sram16):
+        arrays = [
+            SweepPoint(cell, mb(1), 22, OptimizationTarget.READ_EDP).characterize()
+            for cell in (stt_optimistic, sram16)
+        ]
+        traffic = _traffic_pair()
+        serial = evaluate_blocks(arrays, traffic, workers=1)
+        parallel = evaluate_blocks(arrays, traffic, workers=2)
+        assert serial == parallel
+        assert len(serial) == 2
+        assert [r["workload"] for r in serial[0]] == ["read-heavy", "write-heavy"]
+
+    def test_duplicate_blocks_coalesced(self, stt_array_1mb):
+        telemetry = SweepTelemetry()
+        blocks = evaluate_blocks(
+            [stt_array_1mb, stt_array_1mb], _traffic_pair(), telemetry=telemetry
+        )
+        assert blocks[0] == blocks[1]
+        assert telemetry.evaluated == 1
+        assert telemetry.eval_cached == 1
+
+    def test_disk_cache_warm_rerun(self, tmp_path, stt_array_1mb):
+        cache = EvaluationCache(tmp_path)
+        traffic = _traffic_pair()
+        cold = evaluate_blocks([stt_array_1mb], traffic, cache=cache)
+        assert cache.stores == 1
+        telemetry = SweepTelemetry()
+        warm = evaluate_blocks(
+            [stt_array_1mb], traffic, cache=cache, telemetry=telemetry)
+        assert telemetry.evaluated == 0
+        assert telemetry.eval_cached == 1
+        assert warm == cold
+
+    def test_returned_rows_are_copies(self, stt_array_1mb):
+        memory = {}
+        traffic = _traffic_pair()
+        first = evaluate_blocks([stt_array_1mb], traffic, memory=memory)
+        first[0][0]["annotation"] = "mutated"
+        second = evaluate_blocks([stt_array_1mb], traffic, memory=memory)
+        assert "annotation" not in second[0][0]
+
+    def test_custom_rows_fn_and_extra_key_separately(self, tmp_path,
+                                                     stt_array_1mb):
+        cache = EvaluationCache(tmp_path)
+        traffic = _traffic_pair()
+        a = evaluate_blocks([stt_array_1mb], traffic, cache=cache,
+                            rows_fn=_tagged_rows, extra="a")
+        b = evaluate_blocks([stt_array_1mb], traffic, cache=cache,
+                            rows_fn=_tagged_rows, extra="b")
+        assert a[0][0]["tag"] == "a"
+        assert b[0][0]["tag"] == "b"
+        assert cache.stores == 2  # different extras never share an entry
+
+
+class TestRuntimeOptions:
+    def test_defaults(self):
+        options = RuntimeOptions()
+        assert options.workers == 1
+        assert options.cache_dir is None
+        assert options.effective_trace_cache_dir is None
+        assert options.seed_or(7) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeOptions(workers=0)
+        with pytest.raises(ValueError):
+            RuntimeOptions(on_error="sometimes")
+
+    def test_trace_cache_defaults_under_cache_dir(self, tmp_path):
+        options = RuntimeOptions(cache_dir=tmp_path)
+        assert options.effective_trace_cache_dir == tmp_path / "traces"
+        override = RuntimeOptions(cache_dir=tmp_path,
+                                  trace_cache_dir=tmp_path / "elsewhere")
+        assert override.effective_trace_cache_dir == tmp_path / "elsewhere"
+
+    def test_seed_override(self):
+        assert RuntimeOptions(seed=42).seed_or(7) == 42
+
+    def test_engine_construction(self, tmp_path):
+        engine = RuntimeOptions(workers=3, cache_dir=tmp_path,
+                                on_error="skip").engine()
+        assert engine.workers == 3
+        assert engine.on_error == "skip"
+        assert engine.cache is not None
+        assert engine.eval_cache is not None
+        assert engine.cache.root == tmp_path / "arrays"
+        assert engine.eval_cache.root == tmp_path / "evaluations"
+
+
 def small_spec(cells, traffic=()):
     return SweepSpec(
         cells=cells,
@@ -253,6 +416,22 @@ class TestEngineRuntime:
         table = engine.run(spec)
         assert len(table) == 1
         assert engine.last_telemetry.failed == 1
+
+    def test_warm_rerun_skips_evaluation_blocks(self, tmp_path,
+                                                stt_optimistic, sram16,
+                                                simple_traffic):
+        spec = small_spec([stt_optimistic, sram16], traffic=[simple_traffic])
+        cold_engine = DSEEngine(cache_dir=tmp_path)
+        cold = cold_engine.run(spec)
+        assert cold_engine.last_telemetry.evaluated == 8
+        assert cold_engine.eval_cache.stores == 8
+        warm_engine = DSEEngine(cache_dir=tmp_path)
+        warm = warm_engine.run(spec)
+        assert warm_engine.last_telemetry.completed == 0
+        assert warm_engine.last_telemetry.evaluated == 0
+        assert warm_engine.last_telemetry.eval_cached == 8
+        # Cross-run parity: cached rows identical to freshly evaluated ones.
+        assert list(warm) == list(cold)
 
     def test_progress_callback_sees_every_point(self, stt_optimistic):
         events = []

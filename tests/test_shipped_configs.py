@@ -5,10 +5,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.config import load_config, run_config
+from repro.config import load_config, load_study_config, run_config, run_study_config
+from repro.studies.pipeline import REGISTRY
 
 CONFIG_DIR = Path(__file__).resolve().parent.parent / "config"
 CONFIG_FILES = sorted(CONFIG_DIR.glob("*.json"))
+STUDY_CONFIG_FILES = sorted((CONFIG_DIR / "studies").glob("*.json"))
 
 
 def test_samples_exist():
@@ -34,6 +36,28 @@ def test_main_dnn_study_runs(tmp_path):
     assert len(table) > 0
     assert (tmp_path / "dnn.csv").exists()
     assert {"PCM", "STT", "RRAM", "FeFET", "SRAM"} <= set(table.column("tech"))
+
+
+def test_every_registered_study_has_a_stub():
+    names = {p.stem for p in STUDY_CONFIG_FILES}
+    assert names == set(REGISTRY)
+
+
+@pytest.mark.parametrize("path", STUDY_CONFIG_FILES, ids=lambda p: p.name)
+def test_study_stub_parses(path):
+    parsed = load_study_config(path)
+    assert parsed.study == path.stem
+    assert parsed.study in REGISTRY
+
+
+def test_study_stub_runs(tmp_path):
+    raw = json.loads((CONFIG_DIR / "studies" / "ext_hierarchy.json").read_text())
+    raw["output_csv"] = str(tmp_path / "h.csv")
+    raw["report_md"] = str(tmp_path / "h.md")
+    table = run_study_config(raw)
+    assert len(table) == 9
+    assert (tmp_path / "h.csv").exists()
+    assert (tmp_path / "h.md").exists()
 
 
 def test_array_characterization_runs(tmp_path):

@@ -31,8 +31,83 @@ from repro.studies import (
     writebuffer_study,
     performant_technologies,
 )
+from repro.runtime.options import RuntimeOptions
+from repro.studies.pipeline import REGISTRY
 from repro.traffic import ALBERT, RESNET26
 from repro.units import mb
+
+
+#: Per-study parameter overrides that shrink the regression sweeps below
+#: without changing which code paths run.
+_SHRINK = {
+    "fig03_array_targets": {"capacity_bytes": mb(1)},
+    "fig05_dnn_arrays": {"capacity_bytes": mb(1)},
+    "fig08_graph": {"points_per_axis": 2, "include_kernels": False},
+    "fig12_area_efficiency": {"traffic_points": 2, "capacity_bytes": mb(4)},
+    "fig13_mlc": {"trials": 1, "capacities": (mb(8),)},
+    "ext_retention": {"inferences_per_day": (1.0, 1e3)},
+    "ext_synthetic_llc": {"n_accesses": 20_000},
+}
+
+
+class TestRegistryRuntime:
+    """Every registered study honors the shared runtime options.
+
+    The regression the registry exists to prevent: studies silently
+    dropping ``workers``/``cache_dir`` (the old ``inspect``-probed,
+    lambda-wrapped ``summary.STUDIES`` did exactly that for
+    fig11/fig12/fig13).
+    """
+
+    @pytest.mark.parametrize("name", sorted(REGISTRY))
+    def test_cache_dir_honored_and_warm_run_identical(self, name, tmp_path):
+        spec = REGISTRY[name]
+        runtime = RuntimeOptions(cache_dir=tmp_path / "cache")
+        overrides = _SHRINK.get(name, {})
+        cold = spec.run(runtime, **overrides)
+        warm = spec.run(runtime, **overrides)
+        assert cold.ok and warm.ok
+        # cache_dir honored: the second run recomputes nothing.
+        assert warm.telemetry.completed == 0, name
+        assert warm.telemetry.evaluated == 0, name
+        assert warm.telemetry.trace_simulated == 0, name
+        assert warm.telemetry.cached + warm.telemetry.eval_cached > 0, name
+        # parity: cached rows identical to freshly computed rows.
+        assert list(warm.table) == list(cold.table), name
+
+    def test_workers_honored_rows_identical(self, tmp_path):
+        spec = REGISTRY["fig08_graph"]
+        serial = spec.run(RuntimeOptions(workers=1), points_per_axis=2)
+        parallel = spec.run(RuntimeOptions(workers=2), points_per_axis=2)
+        assert list(serial.table) == list(parallel.table)
+
+    def test_every_builder_takes_runtime_keyword(self):
+        import inspect
+
+        for name, spec in REGISTRY.items():
+            assert "runtime" in inspect.signature(spec.builder).parameters, name
+
+    def test_trace_cache_used_by_synthetic_llc(self, tmp_path):
+        runtime = RuntimeOptions(cache_dir=tmp_path / "cache")
+        cold = REGISTRY["ext_synthetic_llc"].run(runtime, n_accesses=20_000)
+        assert cold.telemetry.trace_simulated == 4  # one per synthetic workload
+        trace_dir = tmp_path / "cache" / "traces"
+        assert trace_dir.exists()
+        assert any(trace_dir.glob("??/*.json"))
+        warm = REGISTRY["ext_synthetic_llc"].run(runtime, n_accesses=20_000)
+        assert warm.telemetry.trace_simulated == 0
+        assert warm.telemetry.trace_cached == 4
+
+    def test_seed_reaches_synthetic_traces(self, tmp_path):
+        """runtime.seed must change the regenerated traffic, not be dropped."""
+        cache = tmp_path / "cache"
+        REGISTRY["ext_synthetic_llc"].run(
+            RuntimeOptions(cache_dir=cache, seed=1), n_accesses=20_000)
+        reseeded = REGISTRY["ext_synthetic_llc"].run(
+            RuntimeOptions(cache_dir=cache, seed=2), n_accesses=20_000)
+        # A different seed is a different trace fingerprint: nothing warm.
+        assert reseeded.telemetry.trace_simulated == 4
+        assert reseeded.telemetry.trace_cached == 0
 
 
 @pytest.fixture(scope="module")

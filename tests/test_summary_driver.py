@@ -1,7 +1,10 @@
-"""The full-reproduction driver writes every artifact."""
+"""The full-reproduction driver: registry coverage, artifacts, warm runs."""
 
-from pathlib import Path
+import pytest
 
+from repro.errors import CharacterizationError
+from repro.runtime.options import RuntimeOptions
+from repro.studies.pipeline import REGISTRY, StudySpec
 from repro.studies.summary import STUDIES, main, run_all
 
 
@@ -12,26 +15,122 @@ def test_study_registry_covers_evaluation_figures():
         assert any(n.startswith(figure) for n in names), figure
 
 
-def test_run_subset_writes_artifacts(tmp_path, monkeypatch):
-    # Shrink the registry to two fast studies for test time; the full run
-    # is exercised by the bench suite and the module's CLI.
-    subset = {
-        "fig05_dnn_arrays": STUDIES["fig05_dnn_arrays"],
-        "ext_hierarchy": STUDIES["ext_hierarchy"],
-    }
-    monkeypatch.setattr("repro.studies.summary.STUDIES", subset)
-    tables = run_all(tmp_path)
-    assert set(tables) == set(subset)
-    for name in subset:
+def test_registry_is_the_summary_registry():
+    assert STUDIES is REGISTRY
+
+
+def test_run_subset_writes_artifacts(tmp_path):
+    run = run_all(tmp_path, only=["fig05_dnn_arrays", "ext_hierarchy"])
+    assert run.ok
+    assert set(run.tables) == {"fig05_dnn_arrays", "ext_hierarchy"}
+    for name in run.tables:
         assert (tmp_path / "results" / f"{name}.csv").exists()
         report = (tmp_path / "reports" / f"{name}.md").read_text()
         assert report.startswith("# ")
+        assert "Reproduces paper" in report
         assert "## Data" in report
 
 
-def test_main_returns_zero(tmp_path, monkeypatch, capsys):
-    subset = {"ext_hierarchy": STUDIES["ext_hierarchy"]}
-    monkeypatch.setattr("repro.studies.summary.STUDIES", subset)
-    assert main([str(tmp_path)]) == 0
+def test_unknown_only_name_rejected(tmp_path):
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError, match="unknown studies"):
+        run_all(tmp_path, only=["fig99_nope"])
+
+
+def test_main_returns_zero(tmp_path, capsys):
+    assert main([str(tmp_path), "--only", "ext_hierarchy"]) == 0
     out = capsys.readouterr().out
     assert "1 studies" in out
+    assert "| ext_hierarchy | ok |" in out
+
+
+def test_main_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in STUDIES:
+        assert name in out
+
+
+def test_main_unknown_only_exits_nonzero(tmp_path, capsys):
+    assert main([str(tmp_path), "--only", "nope"]) == 2
+    assert "unknown studies" in capsys.readouterr().err
+
+
+def _boom(runtime=None):
+    raise CharacterizationError("intentional failure")
+
+
+def test_failing_study_nonzero_exit_and_table(tmp_path, monkeypatch, capsys):
+    broken = dict(STUDIES)
+    broken["boom"] = StudySpec(
+        name="boom", builder=_boom, figure="n/a", description="always fails",
+    )
+    monkeypatch.setattr("repro.studies.summary.STUDIES", broken)
+    rc = main([str(tmp_path), "--only", "boom,ext_hierarchy", "--on-error", "skip"])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "| boom | FAIL |" in captured.out
+    assert "| ext_hierarchy | ok |" in captured.out
+    assert "FAILED studies: boom" in captured.err
+
+
+def test_failing_study_raises_under_on_error_raise(tmp_path, monkeypatch):
+    broken = dict(STUDIES)
+    broken["boom"] = StudySpec(
+        name="boom", builder=_boom, figure="n/a", description="always fails",
+    )
+    monkeypatch.setattr("repro.studies.summary.STUDIES", broken)
+    with pytest.raises(CharacterizationError):
+        run_all(tmp_path, runtime=RuntimeOptions(on_error="raise"), only=["boom"])
+
+
+#: Subset covering every cache layer: characterization-only (fig05),
+#: (array x traffic) evaluation (fig09), specialized evaluator blocks
+#: (fig14), direct engine.characterize studies (ext_hierarchy), and
+#: regenerated LLC traces (ext_synthetic_llc).
+WARM_SUBSET = [
+    "fig05_dnn_arrays",
+    "fig09_spec_llc",
+    "fig14_writebuffer",
+    "ext_hierarchy",
+    "ext_synthetic_llc",
+]
+
+
+def test_warm_summary_run_recomputes_nothing(tmp_path):
+    """Acceptance: a warm second run performs zero characterizations and
+    zero (array x traffic) evaluations, verified by telemetry counters."""
+    runtime = RuntimeOptions(cache_dir=tmp_path / "cache")
+    cold = run_all(tmp_path / "out1", runtime=runtime, only=WARM_SUBSET)
+    assert cold.ok
+    cold_telemetry = cold.telemetry
+    assert cold_telemetry.completed > 0
+    assert cold_telemetry.evaluated > 0
+    assert not cold.warm
+
+    warm = run_all(tmp_path / "out2", runtime=runtime, only=WARM_SUBSET)
+    assert warm.ok
+    warm_telemetry = warm.telemetry
+    assert warm_telemetry.completed == 0, "warm run re-characterized arrays"
+    assert warm_telemetry.evaluated == 0, "warm run re-evaluated blocks"
+    assert warm_telemetry.trace_simulated == 0, "warm run re-simulated traces"
+    assert warm_telemetry.cached > 0
+    assert warm_telemetry.eval_cached > 0
+    assert warm_telemetry.trace_cached > 0
+    assert warm.warm
+
+    # Cross-run parity: cached rows identical to freshly computed ones.
+    for name, table in cold.tables.items():
+        assert list(warm.tables[name]) == list(table), name
+
+
+def test_main_expect_warm(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    args = [str(tmp_path / "o1"), "--only", "ext_hierarchy",
+            "--cache-dir", cache]
+    assert main(args + ["--expect-warm"]) == 1  # cold run is not warm
+    capsys.readouterr()
+    args[0] = str(tmp_path / "o2")
+    assert main(args + ["--expect-warm"]) == 0
+    assert "warm run confirmed" in capsys.readouterr().out
