@@ -5,7 +5,6 @@ buffer whose coalescing factor is measured per size, over three backing
 technologies, under the Facebook-BFS workload.
 """
 
-from repro.cells.base import TechnologyClass
 from repro.studies import hierarchy_study
 
 

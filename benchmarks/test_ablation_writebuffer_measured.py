@@ -8,7 +8,7 @@ points sit relative to measured behaviour.
 
 from repro.cachesim import zipfian_batch
 from repro.core import coalescing_factor
-from repro.units import kb, mb
+from repro.units import mb
 
 
 def _measure():

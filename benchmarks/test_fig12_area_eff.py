@@ -1,6 +1,5 @@
 """Figure 12: trading area efficiency for performance."""
 
-from conftest import print_table
 
 from repro.studies import (
     area_efficiency_study,

@@ -1,0 +1,79 @@
+"""Suite-scale benchmark: sharded execution and incremental re-runs.
+
+Acceptance contract for the shard runtime (see ``repro.runtime.shard``):
+
+* the 14-study suite run as 3 shards and merged produces the same study
+  set, statuses, row counts, and byte-identical CSV artifacts as a
+  single-host run;
+* an unchanged re-run into the same output directory skips **every**
+  study as incremental — zero characterizations, zero evaluation
+  blocks, zero trace simulations — and beats the cold run wall-clock.
+"""
+
+import time
+
+from repro.runtime.options import RuntimeOptions
+from repro.runtime.shard import RunManifest
+from repro.studies.pipeline import REGISTRY
+from repro.studies.summary import merge_shards, run_all
+
+#: Incremental re-runs do no study work at all; even against a warm
+#: cache-served run this should be a large factor, but CI boxes are
+#: noisy so the asserted floor is conservative.
+MIN_INCREMENTAL_SPEEDUP = 3.0
+
+
+def test_sharded_suite_matches_single_host_and_rerun_is_incremental(tmp_path, capsys):
+    # --- single-host reference run (cold caches) -------------------------
+    start = time.perf_counter()
+    single = run_all(tmp_path / "single",
+                     runtime=RuntimeOptions(cache_dir=tmp_path / "cache-single"))
+    single_s = time.perf_counter() - start
+    assert single.ok
+    assert len(single.outcomes) == len(REGISTRY)
+
+    # --- the same suite as 3 shards (each with its own cold cache) -------
+    shard_dirs = []
+    shard_s = []
+    for i in range(3):
+        out = tmp_path / f"shard{i}"
+        shard_dirs.append(out)
+        start = time.perf_counter()
+        run = run_all(out,
+                      runtime=RuntimeOptions(cache_dir=tmp_path / f"cache-{i}"),
+                      shard_index=i, shard_count=3)
+        shard_s.append(time.perf_counter() - start)
+        assert run.ok
+
+    merged = merge_shards(shard_dirs, tmp_path / "merged")
+    assert merged.ok
+    assert merged.names == tuple(REGISTRY)
+
+    single_manifest = RunManifest.load(tmp_path / "single")
+    for name in REGISTRY:
+        assert merged.entry_for(name).rows == single_manifest.entry_for(name).rows
+        single_csv = (tmp_path / "single" / "results" / f"{name}.csv").read_bytes()
+        merged_csv = (tmp_path / "merged" / "results" / f"{name}.csv").read_bytes()
+        assert single_csv == merged_csv, f"{name}: merged CSV differs"
+
+    # --- unchanged re-run: every study skipped as incremental ------------
+    start = time.perf_counter()
+    rerun = run_all(tmp_path / "single",
+                    runtime=RuntimeOptions(cache_dir=tmp_path / "cache-single"))
+    rerun_s = time.perf_counter() - start
+    assert rerun.fully_incremental
+    telemetry = rerun.telemetry
+    assert telemetry.completed == 0
+    assert telemetry.evaluated == 0
+    assert telemetry.trace_simulated == 0
+
+    speedup = single_s / max(rerun_s, 1e-9)
+    capsys.readouterr()  # drop the per-study progress noise
+    print(f"\n=== shard suite bench ({len(REGISTRY)} studies) ===")
+    print(f"single host (cold):      {single_s:8.2f}s")
+    print(f"3 shards (cold, max):    {max(shard_s):8.2f}s  "
+          f"(per shard: {', '.join(f'{s:.2f}s' for s in shard_s)})")
+    print(f"incremental re-run:      {rerun_s:8.2f}s  ({speedup:.0f}x vs cold)")
+    assert speedup >= MIN_INCREMENTAL_SPEEDUP, (
+        f"incremental re-run only {speedup:.1f}x faster than the cold run"
+    )

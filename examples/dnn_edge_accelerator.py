@@ -15,7 +15,7 @@ from repro.studies import (
     intermittent_study,
     intermittent_sweep,
 )
-from repro.traffic import ALBERT, RESNET26
+from repro.traffic import ALBERT
 from repro.units import mb
 from repro.viz import bar_chart, line_chart
 

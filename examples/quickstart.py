@@ -13,7 +13,7 @@ from repro import TechnologyClass, characterize, sram_cell, tentpoles_for
 from repro.core import evaluate
 from repro.nvsim import OptimizationTarget
 from repro.traffic import TrafficPattern
-from repro.units import mb, to_ns, to_pj
+from repro.units import mb
 
 CAPACITY = mb(4)
 

@@ -11,7 +11,7 @@ write-allocate, per-access statistics.  The framework uses it to
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
 

@@ -3,25 +3,35 @@
 from repro.config.loader import (
     load_config,
     load_study_config,
+    load_suite_config,
     run_config,
     run_study_config,
+    run_suite_config,
 )
 from repro.config.schema import (
     ParsedConfig,
     StudyConfig,
+    SuiteConfig,
     is_study_config,
+    is_suite_config,
     parse_config,
     parse_study_config,
+    parse_suite_config,
 )
 
 __all__ = [
     "ParsedConfig",
     "StudyConfig",
+    "SuiteConfig",
     "is_study_config",
+    "is_suite_config",
     "load_config",
     "load_study_config",
+    "load_suite_config",
     "parse_config",
     "parse_study_config",
+    "parse_suite_config",
     "run_config",
     "run_study_config",
+    "run_suite_config",
 ]

@@ -8,6 +8,10 @@ the paper's artifact produces, and returns the result table.
 ``config/studies/*.json`` stubs): it resolves the study in the registry,
 runs it under the config's runtime options, and writes the CSV and/or
 markdown report the config asks for.
+
+``run_suite_config`` executes suite-run configs (``config/suite.json``):
+a sharded, incremental pass over the study registry that records a run
+manifest next to its outputs (see :mod:`repro.studies.summary`).
 """
 
 from __future__ import annotations
@@ -21,9 +25,12 @@ from typing import Any, Mapping, Optional, Union
 from repro.config.schema import (
     ParsedConfig,
     StudyConfig,
+    SuiteConfig,
     is_study_config,
+    is_suite_config,
     parse_config,
     parse_study_config,
+    parse_suite_config,
 )
 from repro.core.engine import DSEEngine, SweepSpec
 from repro.errors import ConfigError
@@ -55,12 +62,29 @@ def load_config(source: ConfigSource) -> ParsedConfig:
             "this is a registered-study config; run it with run_study_config "
             "(CLI: it is dispatched automatically)"
         )
+    if is_suite_config(raw):
+        raise ConfigError(
+            "this is a suite-run config; run it with run_suite_config "
+            "(CLI: it is dispatched automatically)"
+        )
     return parse_config(raw)
 
 
 def load_study_config(source: ConfigSource) -> StudyConfig:
     """Load and validate a registered-study config from a path or dict."""
     return parse_study_config(_load_raw(source))
+
+
+def load_suite_config(source: Union[ConfigSource, SuiteConfig]) -> SuiteConfig:
+    """Load and validate a suite-run config from a path or dict.
+
+    An already-parsed :class:`SuiteConfig` passes through unchanged, so
+    callers that need the parsed form themselves (e.g. the CLI, for
+    ``output_dir``) can validate once and forward it.
+    """
+    if isinstance(source, SuiteConfig):
+        return source
+    return parse_suite_config(_load_raw(source))
 
 
 def _override_runtime(
@@ -179,3 +203,37 @@ def run_study_config(
             **spec.report,
         ))
     return outcome.table
+
+
+def run_suite_config(
+    source: Union[ConfigSource, SuiteConfig],
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    trace_cache_dir: Optional[str] = None,
+    seed: Optional[int] = None,
+    progress=None,
+):
+    """Execute a suite-run configuration end to end.
+
+    The config-file form of ``python -m repro.studies.summary``: runs the
+    configured (possibly sharded) slice of the study registry under the
+    config's runtime options, writes CSVs, reports, and the shard
+    manifest under ``suite.output_dir``, and returns the
+    :class:`~repro.studies.summary.SummaryRun`.  Overrides work exactly
+    like :func:`run_config`.
+    """
+    config = load_suite_config(source)
+    # Imported lazily to keep sweep-only usage free of the studies stack.
+    from repro.studies.summary import run_all
+
+    runtime = _override_runtime(
+        config.runtime, workers, cache_dir, trace_cache_dir, seed, progress
+    )
+    return run_all(
+        config.output_dir,
+        runtime=runtime,
+        only=config.only,
+        shard_index=config.shard_index,
+        shard_count=config.shard_count,
+        incremental=config.incremental,
+    )

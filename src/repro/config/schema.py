@@ -51,18 +51,35 @@ sweep (the ``config/studies/*.json`` stubs)::
       "report_md": "output/reports/fig09_spec_llc.md"
     }
 
-:func:`parse_config` validates a sweep dict into a :class:`ParsedConfig`
-and :func:`parse_study_config` a study dict into a :class:`StudyConfig`;
+A third config shape describes one *suite run* — a (possibly sharded,
+incremental) pass over the study registry, the config-file form of
+``python -m repro.studies.summary``::
+
+    {
+      "suite": {
+        "only": ["fig09_spec_llc", "fig14_writebuffer"],   // optional
+        "output_dir": "output",
+        "shard_index": 0,
+        "shard_count": 3,
+        "incremental": true
+      },
+      "runtime": { "workers": 4, "cache_dir": ".nvmcache" }
+    }
+
+:func:`parse_config` validates a sweep dict into a :class:`ParsedConfig`,
+:func:`parse_study_config` a study dict into a :class:`StudyConfig`, and
+:func:`parse_suite_config` a suite dict into a :class:`SuiteConfig`;
 :func:`repro.config.loader.run_config` /
-:func:`repro.config.loader.run_study_config` execute them.
+:func:`repro.config.loader.run_study_config` /
+:func:`repro.config.loader.run_suite_config` execute them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping, Optional, Sequence
 
-from repro.cells import CellTechnology, sram_cell, study_cells, tentpoles_for
+from repro.cells import CellTechnology, sram_cell, tentpoles_for
 from repro.cells.base import TechnologyClass
 from repro.errors import ConfigError
 from repro.nvsim.result import OptimizationTarget
@@ -118,6 +135,18 @@ class StudyConfig:
     runtime: RuntimeOptions
     output_csv: Optional[str] = None
     report_md: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """A validated suite-run configuration (sharded/incremental summary)."""
+
+    only: Optional[Sequence[str]]
+    output_dir: str
+    shard_index: int
+    shard_count: int
+    incremental: bool
+    runtime: RuntimeOptions
 
 
 def _require(mapping: Mapping[str, Any], key: str, context: str) -> Any:
@@ -275,6 +304,51 @@ def _parse_runtime(section: Any) -> RuntimeOptions:
 def is_study_config(raw: Mapping[str, Any]) -> bool:
     """Does this raw config describe a registered study (vs. a raw sweep)?"""
     return isinstance(raw, Mapping) and "study" in raw
+
+
+def is_suite_config(raw: Mapping[str, Any]) -> bool:
+    """Does this raw config describe a (sharded) suite run?"""
+    return isinstance(raw, Mapping) and "suite" in raw
+
+
+def parse_suite_config(raw: Mapping[str, Any]) -> SuiteConfig:
+    """Validate a raw suite-run config dict."""
+    if not isinstance(raw, Mapping):
+        raise ConfigError("config root must be an object")
+    section = _require(raw, "suite", "config")
+    if not isinstance(section, Mapping):
+        raise ConfigError("suite section must be an object")
+    only = section.get("only")
+    if only is not None:
+        if not isinstance(only, Sequence) or isinstance(only, str):
+            raise ConfigError("suite.only must be a list of study names")
+        # Imported lazily, exactly like parse_study_config: suite parsing
+        # should not drag the engine stack into sweep-only usage.
+        from repro.errors import ReproError
+        from repro.studies.pipeline import get_study
+
+        try:
+            for name in only:
+                get_study(str(name))
+        except ReproError as exc:
+            raise ConfigError(str(exc)) from None
+        only = tuple(str(name) for name in only)
+    shard_index = int(section.get("shard_index", 0))
+    shard_count = int(section.get("shard_count", 1))
+    if shard_count < 1:
+        raise ConfigError("suite.shard_count must be >= 1")
+    if not 0 <= shard_index < shard_count:
+        raise ConfigError(
+            f"suite.shard_index must be in [0, {shard_count}), got {shard_index}"
+        )
+    return SuiteConfig(
+        only=only,
+        output_dir=str(section.get("output_dir", "output")),
+        shard_index=shard_index,
+        shard_count=shard_count,
+        incremental=bool(section.get("incremental", True)),
+        runtime=_parse_runtime(raw.get("runtime", {})),
+    )
 
 
 def parse_study_config(raw: Mapping[str, Any]) -> StudyConfig:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.intermittent import IntermittentEvaluation, evaluate_intermittent
+from repro.core.intermittent import evaluate_intermittent
 from repro.errors import EvaluationError
 from repro.nvsim.result import ArrayCharacterization
 from repro.traffic.dnn import DNNWorkload

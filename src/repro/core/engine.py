@@ -16,9 +16,9 @@ error) preserve the engine's historical behavior.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 from repro.cells.base import CellTechnology
 from repro.core.metrics import (  # noqa: F401  (re-exported for compatibility)
@@ -28,7 +28,6 @@ from repro.core.metrics import (  # noqa: F401  (re-exported for compatibility)
     evaluation_record,
 )
 from repro.errors import CharacterizationError
-from repro.nvsim import characterize
 from repro.nvsim.result import ArrayCharacterization, OptimizationTarget
 from repro.results.table import ResultTable
 from repro.runtime.cache import CharacterizationCache, EvaluationCache

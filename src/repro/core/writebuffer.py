@@ -16,8 +16,8 @@ buffer size from an address stream via :mod:`repro.cachesim`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.core.metrics import SystemEvaluation, evaluate
 from repro.errors import EvaluationError

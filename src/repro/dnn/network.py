@@ -62,7 +62,7 @@ class MLP:
 
     @property
     def dense_layers(self) -> list[Dense]:
-        return [l for l in self.layers if isinstance(l, Dense)]
+        return [layer for layer in self.layers if isinstance(layer, Dense)]
 
     def get_weights(self) -> list[np.ndarray]:
         """Copies of every dense layer's weight matrix (biases excluded —

@@ -14,6 +14,11 @@ exploration; this package is the execution layer that delivers it:
   (array, traffic) evaluation over a :class:`~concurrent.futures.\
 ProcessPoolExecutor`, with deterministic result ordering and a serial
   fallback for ``workers=1``.
+* :mod:`repro.runtime.shard` — deterministic shard planning (split the
+  study suite, or one study's fingerprinted point space, across hosts
+  with no coordinator), per-shard run manifests, manifest merging with
+  dropped/duplicate detection, and the content fingerprints behind the
+  incremental summary.
 * :mod:`repro.runtime.options` — :class:`RuntimeOptions`, the shared
   execution options (workers, cache_dir, trace_cache_dir, on_error,
   progress, seed) every study and config-driven sweep accepts.
@@ -49,6 +54,19 @@ from repro.runtime.fingerprint import (
     trace_payload,
 )
 from repro.runtime.options import RuntimeOptions, engine_for, ensure_runtime
+from repro.runtime.shard import (
+    ManifestEntry,
+    RunManifest,
+    ShardError,
+    ShardPlan,
+    assign_fingerprint,
+    merge_manifests,
+    partition_fingerprints,
+    plan_shard,
+    schema_tags,
+    shard_assignments,
+    study_fingerprint,
+)
 from repro.runtime.telemetry import ProgressEvent, SweepTelemetry
 
 __all__ = [
@@ -59,10 +77,15 @@ __all__ = [
     "EvaluationCache",
     "JsonObjectCache",
     "LLCTraceCache",
+    "ManifestEntry",
     "ProgressEvent",
+    "RunManifest",
     "RuntimeOptions",
+    "ShardError",
+    "ShardPlan",
     "SweepPoint",
     "SweepTelemetry",
+    "assign_fingerprint",
     "canonical_json",
     "characterize_points",
     "engine_for",
@@ -71,9 +94,15 @@ __all__ = [
     "evaluation_context",
     "evaluation_fingerprint",
     "fingerprint_payload",
+    "merge_manifests",
     "parallel_map",
+    "partition_fingerprints",
+    "plan_shard",
     "point_fingerprint",
     "point_payload",
+    "schema_tags",
+    "shard_assignments",
+    "study_fingerprint",
     "sweep_points",
     "trace_fingerprint",
     "trace_payload",

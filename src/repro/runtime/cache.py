@@ -106,7 +106,11 @@ class JsonObjectCache:
             "result": self._encode(result),
         }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
+        # No key sorting: the result payload must round-trip with its
+        # original key order, so rows served from cache produce CSVs
+        # byte-identical to freshly computed ones (column order is taken
+        # from row insertion order).
+        tmp.write_text(json.dumps(payload))
         os.replace(tmp, path)
         self.stores += 1
 

@@ -35,7 +35,10 @@ TRACE_SCHEMA_TAG = "llc-trace-v1"
 #: Version tag of the analytical evaluation model + row payload format.
 #: Bump whenever :func:`repro.core.metrics.evaluate` or the flattened
 #: evaluation-row schema changes in a way that invalidates stored rows.
-EVAL_SCHEMA_TAG = "eval-rows-v1"
+#: (v2: rows persist with their original key order — cached rows now
+#: reproduce fresh runs' CSV column order byte-for-byte; v1 entries
+#: stored alphabetized keys and must not be served.)
+EVAL_SCHEMA_TAG = "eval-rows-v2"
 
 
 def canonical_json(payload: Any) -> str:

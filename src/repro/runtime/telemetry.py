@@ -99,6 +99,33 @@ class SweepTelemetry:
         actually computed (as opposed to served from a cache)."""
         return self.completed + self.evaluated + self.trace_simulated
 
+    def counters(self) -> dict:
+        """The counter fields as a JSON-able dict (manifest payload)."""
+        return {
+            "completed": self.completed,
+            "cached": self.cached,
+            "failed": self.failed,
+            "evaluated": self.evaluated,
+            "eval_cached": self.eval_cached,
+            "trace_simulated": self.trace_simulated,
+            "trace_cached": self.trace_cached,
+        }
+
+    @classmethod
+    def from_counters(cls, counters) -> "SweepTelemetry":
+        """Rebuild aggregate counts from a manifest's counter dict.
+
+        Unknown keys are ignored and missing keys default to zero, so
+        manifests from slightly older/newer versions still aggregate.
+        """
+        telemetry = cls()
+        for name in (
+            "completed", "cached", "failed", "evaluated", "eval_cached",
+            "trace_simulated", "trace_cached",
+        ):
+            setattr(telemetry, name, int(counters.get(name, 0)))
+        return telemetry
+
     def absorb(self, other: "SweepTelemetry") -> None:
         """Fold another run's counters into this aggregate."""
         self.completed += other.completed

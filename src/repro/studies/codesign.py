@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-from repro.cells import back_gated_fefet, sram_cell, study_cells, tentpoles_for
+from repro.cells import back_gated_fefet, sram_cell, tentpoles_for
 from repro.cells.base import TechnologyClass
 from repro.core.engine import SweepSpec
 from repro.nvsim import all_organizations

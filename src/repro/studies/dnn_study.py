@@ -34,7 +34,6 @@ from repro.traffic.dnn import (
     MULTI_TASK_NLP,
     RESNET26,
     DNNWorkload,
-    NVDLAPerformanceModel,
     continuous_scenarios,
 )
 from repro.units import SECONDS_PER_DAY, mb

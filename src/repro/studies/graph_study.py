@@ -10,8 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.cells import STUDY_TECHNOLOGIES, sram_cell, study_cells, tentpoles_for
-from repro.cells.base import TechnologyClass
+from repro.cells import STUDY_TECHNOLOGIES, sram_cell, study_cells
 from repro.core.engine import SweepSpec
 from repro.results.table import ResultTable
 from repro.runtime.options import RuntimeOptions, engine_for

@@ -39,13 +39,21 @@ from repro.studies.writebuffer_study import writebuffer_study
 
 @dataclass(frozen=True)
 class StudyOutcome:
-    """One study run: its table, aggregated telemetry, and timing."""
+    """One study run: its table, aggregated telemetry, and timing.
+
+    An *incremental* outcome (``cached=True``) records a study the
+    summary skipped because its manifest entry was up to date: there is
+    no table (the artifacts already exist on disk), the telemetry is
+    empty, and ``rows`` reports the prior run's row count.
+    """
 
     name: str
     table: Optional[ResultTable]
     telemetry: SweepTelemetry
     elapsed_s: float
     error: Optional[str] = None
+    cached: bool = False
+    cached_rows: int = 0
 
     @property
     def ok(self) -> bool:
@@ -53,7 +61,16 @@ class StudyOutcome:
 
     @property
     def rows(self) -> int:
-        return 0 if self.table is None else len(self.table)
+        if self.table is None:
+            return self.cached_rows if self.cached else 0
+        return len(self.table)
+
+    @property
+    def status(self) -> str:
+        """Manifest-vocabulary status: ``ok`` / ``cached`` / ``failed``."""
+        if not self.ok:
+            return "failed"
+        return "cached" if self.cached else "ok"
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.cells import tentpoles_for
-from repro.cells.base import TechnologyClass
 from repro.core.retention import deployment_check, max_unpowered_interval
 from repro.nvsim.result import OptimizationTarget
 from repro.results.table import ResultTable

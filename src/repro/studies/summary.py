@@ -13,19 +13,52 @@ LLC traces (``--trace-cache-dir`` relocates just the traces), ``--seed``
 pins every stochastic component.  A warm second run against the same
 cache directory performs zero characterizations and zero evaluation
 blocks; ``--expect-warm`` turns that into an exit-code assertion for CI.
+
+Three suite-scale features build on :mod:`repro.runtime.shard`:
+
+* **Sharding** — ``--shard-index I --shard-count N`` runs a
+  deterministic 1/N slice of the suite, so N hosts (or CI matrix jobs)
+  split the work with no coordination.  Every run writes a
+  ``manifest.json`` next to its outputs recording what ran, its status,
+  telemetry, artifact paths, and cache schema tags.
+* **Merging** — ``--merge DIR [DIR ...]`` combines shard output
+  directories into the single summary table and artifact set, failing
+  if any study was dropped or run twice.
+* **Incremental runs** — a study whose manifest entry matches the
+  current content fingerprint (parameters x schema tags x source
+  digest) and whose artifacts still exist is skipped with a ``cached``
+  status instead of re-run; ``--force`` disables the skip.
+
+Exit codes: ``0`` success, ``1`` study failures (or a violated
+``--expect-warm``), ``2`` usage/config/merge errors, and ``3`` for a
+fully-incremental run (every study skipped as up to date) so CI logs
+can tell a no-op invocation from one that recomputed artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.errors import ReproError
 from repro.results.table import ResultTable
 from repro.runtime.options import RuntimeOptions, ensure_runtime
+from repro.runtime.shard import (
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    ManifestEntry,
+    RunManifest,
+    ShardPlan,
+    collect_artifacts,
+    merge_manifests,
+    plan_shard,
+    schema_tags,
+    study_fingerprint,
+)
 from repro.runtime.telemetry import SweepTelemetry
 from repro.studies.pipeline import REGISTRY, StudyOutcome
 from repro.viz.report import study_report
@@ -33,16 +66,24 @@ from repro.viz.report import study_report
 #: Back-compat alias: the registry keyed by study name.
 STUDIES = REGISTRY
 
+#: Exit codes (see module docstring).
+EXIT_OK = 0
+EXIT_FAILED = 1
+EXIT_USAGE = 2
+EXIT_ALL_INCREMENTAL = 3
+
 
 @dataclass
 class SummaryRun:
-    """Every outcome of one full-reproduction run."""
+    """Every outcome of one full-reproduction (or shard) run."""
 
     outcomes: list[StudyOutcome] = field(default_factory=list)
+    plan: Optional[ShardPlan] = None
+    manifest: Optional[RunManifest] = None
 
     @property
     def tables(self) -> dict[str, ResultTable]:
-        """Result tables of the studies that succeeded."""
+        """Result tables of the studies that ran fresh and succeeded."""
         return {o.name: o.table for o in self.outcomes if o.table is not None}
 
     @property
@@ -62,6 +103,16 @@ class SummaryRun:
         """Did the run recompute nothing (everything served from cache)?"""
         return self.telemetry.fresh_work == 0
 
+    @property
+    def incremental_skips(self) -> int:
+        """Studies skipped because their manifest entry was up to date."""
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def fully_incremental(self) -> bool:
+        """Was *every* selected study served by an incremental skip?"""
+        return bool(self.outcomes) and all(o.cached for o in self.outcomes)
+
 
 def _select(only: Optional[Sequence[str]], registry) -> dict:
     if only is None:
@@ -74,67 +125,218 @@ def _select(only: Optional[Sequence[str]], registry) -> dict:
     return {name: registry[name] for name in only}
 
 
+def _artifact_paths(name: str) -> dict[str, str]:
+    """Relative artifact locations for one study under an output dir."""
+    return {"csv": f"results/{name}.csv", "report": f"reports/{name}.md"}
+
+
+def _reusable_entry(
+    previous: Optional[RunManifest], name: str, fingerprint: str, out: Path
+) -> Optional[ManifestEntry]:
+    """The prior manifest entry iff it makes re-running ``name`` redundant.
+
+    Redundant means: the prior run succeeded, its content fingerprint
+    (parameters x schema tags x source digest) matches the current one,
+    and every recorded artifact still exists on disk.
+    """
+    if previous is None:
+        return None
+    entry = previous.lookup(name)
+    if entry is None or not entry.ok or entry.fingerprint != fingerprint:
+        return None
+    if not entry.artifacts:
+        return None
+    if not all((out / relpath).exists() for relpath in entry.artifacts.values()):
+        return None
+    return entry
+
+
+def _write_artifacts(outcome: StudyOutcome, spec, out: Path) -> dict[str, str]:
+    """Write one fresh study's CSV + report; returns their relative paths."""
+    if outcome.table is None:
+        return {}
+    paths = _artifact_paths(outcome.name)
+    outcome.table.to_csv(str(out / paths["csv"]))
+    report = study_report(
+        title=outcome.name.replace("_", " "),
+        table=outcome.table,
+        description=(
+            f"{spec.description} Regenerated by repro.studies.summary "
+            f"({outcome.rows} rows)."
+        ),
+        figure=spec.figure,
+        **spec.report,
+    )
+    (out / paths["report"]).write_text(report)
+    return paths
+
+
 def run_all(
-    output_dir: str | Path = "output",
+    output_dir: Union[str, Path] = "output",
     runtime: Optional[RuntimeOptions] = None,
     only: Optional[Sequence[str]] = None,
+    shard_index: int = 0,
+    shard_count: int = 1,
+    incremental: bool = True,
 ) -> SummaryRun:
-    """Run the selected studies, write CSVs and reports, return outcomes.
+    """Run this shard's slice of the selected studies and record a manifest.
 
     ``runtime`` is forwarded to every study (see
     :class:`~repro.runtime.options.RuntimeOptions`); ``only`` restricts
-    the run to a subset of registry names.  With
+    the suite to a subset of registry names; ``shard_index`` /
+    ``shard_count`` select a deterministic slice of that suite
+    (:func:`~repro.runtime.shard.plan_shard`).  With
     ``runtime.on_error="skip"`` a failing study is recorded in its
     outcome and the run continues.
+
+    With ``incremental=True`` (the default), a study whose entry in the
+    output directory's existing ``manifest.json`` matches the current
+    content fingerprint — and whose artifacts are still on disk — is
+    skipped with a ``cached`` outcome instead of re-run.  The manifest
+    (:class:`~repro.runtime.shard.RunManifest`) is rewritten next to
+    the outputs after every run.
     """
     runtime = ensure_runtime(runtime)
     registry = _select(only, STUDIES)
+    plan = plan_shard(list(registry), shard_index, shard_count)
     out = Path(output_dir)
     (out / "results").mkdir(parents=True, exist_ok=True)
     (out / "reports").mkdir(parents=True, exist_ok=True)
-    run = SummaryRun()
-    for name, spec in registry.items():
-        outcome = spec.run(runtime)
+    # The previous manifest is read even under incremental=False: its
+    # entries for studies *outside* this run's selection are retained in
+    # the rewritten manifest so their incremental state is not clobbered
+    # by a subset run.
+    previous = RunManifest.try_load(out)
+    reusable = previous if incremental else None
+    run = SummaryRun(plan=plan)
+    entries: list[ManifestEntry] = []
+    for name in plan.selected:
+        spec = registry[name]
+        fingerprint = study_fingerprint(spec, seed=runtime.seed)
+        prior = _reusable_entry(reusable, name, fingerprint, out)
+        if prior is not None:
+            outcome = StudyOutcome(
+                name=name,
+                table=None,
+                telemetry=SweepTelemetry(),
+                elapsed_s=0.0,
+                cached=True,
+                cached_rows=prior.rows,
+            )
+            entry = replace(
+                prior, status=STATUS_CACHED, elapsed_s=0.0, telemetry={}
+            )
+            status = "cached (incremental: manifest up to date)"
+        else:
+            outcome = spec.run(runtime)
+            artifacts = _write_artifacts(outcome, spec, out)
+            entry = ManifestEntry(
+                name=name,
+                status=STATUS_OK if outcome.ok else STATUS_FAILED,
+                fingerprint=fingerprint,
+                rows=outcome.rows,
+                elapsed_s=outcome.elapsed_s,
+                error=outcome.error or "",
+                artifacts=artifacts,
+                telemetry=outcome.telemetry.counters(),
+            )
+            status = "ok" if outcome.ok else f"FAIL ({outcome.error})"
         run.outcomes.append(outcome)
-        status = "ok" if outcome.ok else f"FAIL ({outcome.error})"
+        entries.append(entry)
         print(f"{name:26s} {outcome.rows:5d} rows  "
               f"{outcome.elapsed_s:6.2f}s  {status}")
-        if outcome.table is None:
-            continue
-        outcome.table.to_csv(str(out / "results" / f"{name}.csv"))
-        report = study_report(
-            title=name.replace("_", " "),
-            table=outcome.table,
-            description=(
-                f"{spec.description} Regenerated by repro.studies.summary "
-                f"({outcome.rows} rows)."
-            ),
-            figure=spec.figure,
-            **spec.report,
-        )
-        (out / "reports" / f"{name}.md").write_text(report)
+    selected = set(plan.selected)
+    retained = tuple(
+        entry
+        for entry in (*previous.entries, *previous.retained)
+        if entry.name not in selected
+    ) if previous is not None else ()
+    run.manifest = RunManifest(
+        shard_index=shard_index,
+        shard_count=shard_count,
+        suite=plan.suite,
+        entries=tuple(entries),
+        tags=schema_tags(),
+        retained=retained,
+    )
+    run.manifest.write(out)
     return run
 
 
-def _status_table(run: SummaryRun) -> str:
+def merge_shards(
+    shard_dirs: Sequence[Union[str, Path]],
+    output_dir: Union[str, Path],
+) -> RunManifest:
+    """Combine shard output directories into one summary directory.
+
+    Loads every shard's ``manifest.json``, verifies the shards form one
+    complete, non-overlapping partition of the suite
+    (:func:`~repro.runtime.shard.merge_manifests`), copies each shard's
+    artifacts (CSVs + reports) under ``output_dir``, and writes the
+    merged manifest there.  Returns the merged manifest; raises
+    :class:`~repro.runtime.shard.ShardError` on any dropped, duplicated,
+    or inconsistent study.
+    """
+    manifests = [RunManifest.load(d) for d in shard_dirs]
+    merged = merge_manifests(manifests)
+    out = Path(output_dir)
+    (out / "results").mkdir(parents=True, exist_ok=True)
+    (out / "reports").mkdir(parents=True, exist_ok=True)
+    for manifest, shard_dir in zip(manifests, shard_dirs):
+        collect_artifacts(manifest, shard_dir, out)
+    merged.write(out)
+    return merged
+
+
+def _table_status(entry: ManifestEntry) -> str:
+    return "FAIL" if entry.status == STATUS_FAILED else entry.status
+
+
+def _status_table(entries: Sequence[ManifestEntry]) -> str:
+    """The per-study pass/fail table, rendered from manifest entries."""
     lines = [
         "| study | status | rows | time_s | chars fresh/cached | evals fresh/cached |",
         "|---|---|---|---|---|---|",
     ]
-    for o in run.outcomes:
-        t = o.telemetry
+    for entry in entries:
+        t = SweepTelemetry.from_counters(entry.telemetry)
         lines.append(
-            f"| {o.name} | {'ok' if o.ok else 'FAIL'} | {o.rows} "
-            f"| {o.elapsed_s:.2f} | {t.completed}/{t.cached} "
+            f"| {entry.name} | {_table_status(entry)} | {entry.rows} "
+            f"| {entry.elapsed_s:.2f} | {t.completed}/{t.cached} "
             f"| {t.evaluated}/{t.eval_cached} |"
         )
     return "\n".join(lines)
+
+
+def _report_manifest(manifest: RunManifest, output_dir: str) -> int:
+    """Print the merged/shard manifest summary; return the exit code."""
+    entries = manifest.entries
+    total_rows = sum(e.rows for e in entries)
+    telemetry = SweepTelemetry()
+    for entry in entries:
+        telemetry.absorb(SweepTelemetry.from_counters(entry.telemetry))
+    print(f"\n{_status_table(entries)}")
+    shards = len(manifest.merged_from) or 1
+    print(f"\n{len(entries)} studies from {shards} shard(s), "
+          f"{total_rows} result rows. CSVs in {output_dir}/results, "
+          f"reports in {output_dir}/reports.")
+    print(f"runtime totals: {telemetry.summary()}")
+    if not manifest.ok:
+        failed = ", ".join(e.name for e in entries if not e.ok)
+        print(f"FAILED studies: {failed}", file=sys.stderr)
+        return EXIT_FAILED
+    return EXIT_OK
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.studies.summary",
         description="Regenerate every study artifact (CSVs + reports).",
+        epilog=(
+            "exit codes: 0 success, 1 study failure or violated "
+            "--expect-warm, 2 usage/merge error, 3 fully-incremental run "
+            "(every study skipped as up to date)"
+        ),
     )
     parser.add_argument("output_dir", nargs="?", default="output")
     parser.add_argument(
@@ -144,6 +346,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--only", default=None, metavar="NAME[,NAME...]",
         help="run only the named studies",
+    )
+    parser.add_argument(
+        "--shard-index", type=int, default=0, metavar="I",
+        help="run the I-th slice of the deterministic shard plan",
+    )
+    parser.add_argument(
+        "--shard-count", type=int, default=1, metavar="N",
+        help="split the suite into N deterministic slices",
+    )
+    parser.add_argument(
+        "--merge", nargs="+", default=None, metavar="DIR",
+        help="merge shard output directories into OUTPUT_DIR instead of "
+             "running studies (verifies no study was dropped or duplicated)",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="re-run every study even when its manifest entry is up to date",
     )
     parser.add_argument(
         "--workers", type=int, default=1, metavar="N",
@@ -175,7 +394,37 @@ def main(argv: list[str] | None = None) -> int:
         from repro.studies.pipeline import describe_registry
 
         print(describe_registry())
-        return 0
+        return EXIT_OK
+
+    if args.merge is not None:
+        incompatible = [
+            flag for flag, given in (
+                ("--only", args.only is not None),
+                ("--shard-index", args.shard_index != 0),
+                ("--shard-count", args.shard_count != 1),
+                ("--force", args.force),
+                ("--expect-warm", args.expect_warm),
+                ("--workers", args.workers != 1),
+                ("--cache-dir", args.cache_dir is not None),
+                ("--trace-cache-dir", args.trace_cache_dir is not None),
+                ("--seed", args.seed is not None),
+            ) if given
+        ]
+        if incompatible:
+            print(
+                f"error: {', '.join(incompatible)} cannot be combined with "
+                "--merge (merging only combines existing shard outputs; it "
+                "runs no studies)",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        print(f"Merging {len(args.merge)} shard(s) into {args.output_dir}/ ...")
+        try:
+            merged = merge_shards(args.merge, args.output_dir)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        return _report_manifest(merged, args.output_dir)
 
     only = args.only.split(",") if args.only else None
     runtime = RuntimeOptions(
@@ -185,24 +434,37 @@ def main(argv: list[str] | None = None) -> int:
         on_error=args.on_error,
         seed=args.seed,
     )
-    print(f"Regenerating studies into {args.output_dir}/ ...")
+    shard_note = (
+        f" (shard {args.shard_index}/{args.shard_count})"
+        if args.shard_count > 1 else ""
+    )
+    print(f"Regenerating studies into {args.output_dir}/{shard_note} ...")
     try:
-        run = run_all(args.output_dir, runtime=runtime, only=only)
+        run = run_all(
+            args.output_dir,
+            runtime=runtime,
+            only=only,
+            shard_index=args.shard_index,
+            shard_count=args.shard_count,
+            incremental=not args.force,
+        )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     total_rows = sum(o.rows for o in run.outcomes)
     telemetry = run.telemetry
-    print(f"\n{_status_table(run)}")
-    print(f"\n{len(run.outcomes)} studies, {total_rows} result rows. "
-          f"CSVs in {args.output_dir}/results, reports in "
+    print(f"\n{_status_table(run.manifest.entries)}")
+    fresh = len(run.outcomes) - run.incremental_skips
+    print(f"\n{len(run.outcomes)} studies ({fresh} run, "
+          f"{run.incremental_skips} incremental-cached), {total_rows} result "
+          f"rows. CSVs in {args.output_dir}/results, reports in "
           f"{args.output_dir}/reports.")
     print(f"runtime totals: {telemetry.summary()}")
     if not run.ok:
         failed = ", ".join(o.name for o in run.outcomes if not o.ok)
         print(f"FAILED studies: {failed}", file=sys.stderr)
-        return 1
+        return EXIT_FAILED
     if args.expect_warm and not run.warm:
         print(
             f"expected a warm run but recomputed "
@@ -211,11 +473,16 @@ def main(argv: list[str] | None = None) -> int:
             f"{telemetry.trace_simulated} LLC traces",
             file=sys.stderr,
         )
-        return 1
+        return EXIT_FAILED
     if args.expect_warm:
         print("warm run confirmed: zero characterizations, zero evaluations, "
               "zero trace simulations.")
-    return 0
+        return EXIT_OK
+    if run.fully_incremental:
+        print(f"all {len(run.outcomes)} studies up to date "
+              "(incremental skip); nothing recomputed.")
+        return EXIT_ALL_INCREMENTAL
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -18,7 +18,6 @@ and hence its energy slope in Figure 7 — much larger than ResNet's.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.errors import TrafficError
 from repro.traffic.base import TrafficPattern

@@ -8,7 +8,7 @@ orderings every figure is about, and exercised by the examples.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Mapping, Sequence
 
 from repro.errors import ReproError
 

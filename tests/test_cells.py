@@ -1,6 +1,5 @@
 """Cell model, survey database, tentpole, and preset tests."""
 
-import math
 
 import pytest
 
@@ -9,7 +8,6 @@ from repro.cells import (
     PUBLICATION_COUNTS,
     STUDY_TECHNOLOGIES,
     VALIDATED_TECHNOLOGIES,
-    AccessDevice,
     CellTechnology,
     TechnologyClass,
     all_entries,

@@ -7,9 +7,11 @@ import pytest
 
 from repro.config import (
     is_study_config,
+    is_suite_config,
     load_config,
     parse_config,
     parse_study_config,
+    parse_suite_config,
     run_config,
     run_study_config,
 )
@@ -288,3 +290,101 @@ class TestStudyCLI:
         cache = tmp_path / "cache"
         assert cli_main([str(path), "--cache-dir", str(cache)]) == 0
         assert (cache / "arrays").exists()
+
+
+def suite_config(tmp_path, **suite_overrides):
+    suite = {
+        "only": ["ext_hierarchy"],
+        "output_dir": str(tmp_path / "out"),
+        "shard_index": 0,
+        "shard_count": 1,
+        "incremental": True,
+    }
+    suite.update(suite_overrides)
+    return {"suite": suite}
+
+
+class TestSuiteConfig:
+    def test_is_suite_config(self, tmp_path):
+        assert is_suite_config(suite_config(tmp_path))
+        assert not is_suite_config(minimal_config())
+        assert not is_study_config(suite_config(tmp_path))
+
+    def test_parse_defaults(self):
+        parsed = parse_suite_config({"suite": {}})
+        assert parsed.only is None
+        assert parsed.output_dir == "output"
+        assert parsed.shard_index == 0
+        assert parsed.shard_count == 1
+        assert parsed.incremental
+
+    def test_unknown_study_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="unknown study"):
+            parse_suite_config(suite_config(tmp_path, only=["fig99_warp"]))
+
+    def test_bad_shard_bounds_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="shard_count"):
+            parse_suite_config(suite_config(tmp_path, shard_count=0))
+        with pytest.raises(ConfigError, match="shard_index"):
+            parse_suite_config(suite_config(tmp_path, shard_index=2, shard_count=2))
+
+    def test_only_must_be_a_list(self, tmp_path):
+        with pytest.raises(ConfigError, match="list of study names"):
+            parse_suite_config(suite_config(tmp_path, only="ext_hierarchy"))
+
+    def test_load_config_rejects_suite_shape(self, tmp_path):
+        path = tmp_path / "suite.json"
+        path.write_text(json.dumps(suite_config(tmp_path)))
+        with pytest.raises(ConfigError, match="suite-run config"):
+            load_config(path)
+
+
+class TestSuiteCLI:
+    def test_suite_config_dispatched(self, tmp_path, capsys):
+        path = tmp_path / "suite.json"
+        path.write_text(json.dumps(suite_config(tmp_path)))
+        assert cli_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "| ext_hierarchy | ok |" in out
+        assert (tmp_path / "out" / "manifest.json").exists()
+        # Second run: fully incremental, distinct exit code.
+        assert cli_main([str(path)]) == 3
+        assert "| ext_hierarchy | cached |" in capsys.readouterr().out
+
+    def test_merge_shards_subcommand(self, tmp_path, capsys):
+        for i in range(2):
+            path = tmp_path / f"suite{i}.json"
+            path.write_text(json.dumps(suite_config(
+                tmp_path,
+                only=["ext_hierarchy", "fig05_dnn_arrays"],
+                output_dir=str(tmp_path / f"s{i}"),
+                shard_index=i,
+                shard_count=2,
+            )))
+            assert cli_main([str(path)]) == 0
+        capsys.readouterr()
+        rc = cli_main(["merge-shards", str(tmp_path / "merged"),
+                       str(tmp_path / "s0"), str(tmp_path / "s1")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 studies from 2 shard(s)" in out
+        assert (tmp_path / "merged" / "manifest.json").exists()
+
+    def test_suite_config_rejects_table_output_flags(self, tmp_path, capsys):
+        path = tmp_path / "suite.json"
+        path.write_text(json.dumps(suite_config(tmp_path)))
+        assert cli_main([str(path), "--csv", str(tmp_path / "x.csv")]) == 1
+        assert "not supported for suite configs" in capsys.readouterr().err
+
+    def test_merge_shards_incomplete_rejected(self, tmp_path, capsys):
+        path = tmp_path / "suite.json"
+        path.write_text(json.dumps(suite_config(
+            tmp_path, output_dir=str(tmp_path / "s0"),
+            shard_index=0, shard_count=2,
+        )))
+        assert cli_main([str(path)]) == 0
+        capsys.readouterr()
+        rc = cli_main(["merge-shards", str(tmp_path / "merged"),
+                       str(tmp_path / "s0")])
+        assert rc == 2
+        assert "missing shard" in capsys.readouterr().err

@@ -1,6 +1,5 @@
 """Cross-stack engine tests: metrics, intermittent, write buffers, DSE."""
 
-import math
 
 import pytest
 
@@ -26,7 +25,7 @@ from repro.core.metrics import CONTROLLER_POWER_PER_BYTE
 from repro.errors import CharacterizationError, EvaluationError
 from repro.nvsim import OptimizationTarget, characterize
 from repro.traffic import RESNET26, TrafficPattern
-from repro.units import SECONDS_PER_YEAR, mb
+from repro.units import mb
 
 
 class TestEvaluate:

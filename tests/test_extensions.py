@@ -3,13 +3,12 @@ and markdown reports."""
 
 import pytest
 
-from repro.cells import TechnologyClass, sram_cell, tentpoles_for
+from repro.cells import TechnologyClass, tentpoles_for
 from repro.core import (
     deployment_check,
     evaluate_hierarchy,
     max_unpowered_interval,
     scrub_energy_per_pass,
-    scrub_power,
     split_traffic,
 )
 from repro.errors import CharacterizationError, EvaluationError

@@ -2,8 +2,6 @@
 
 import json
 
-import numpy as np
-import pytest
 
 from repro.cells import TechnologyClass, sram_cell, tentpoles_for
 from repro.config import run_config

@@ -15,7 +15,7 @@ from repro.cells import (
     sram_cell,
     tentpoles_for,
 )
-from repro.nvsim import OptimizationTarget, characterize
+from repro.nvsim import characterize
 from repro.units import mb
 
 CAPACITIES = (mb(1), mb(4), mb(16))

@@ -1,10 +1,9 @@
 """Array characterizer tests: organizations, peripherals, physics, sweep."""
 
-import math
 
 import pytest
 
-from repro.cells import TechnologyClass, sram_cell, tentpoles_for
+from repro.cells import TechnologyClass, tentpoles_for
 from repro.errors import CharacterizationError
 from repro.nvsim import (
     ArrayCharacterization,

@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
@@ -19,7 +18,7 @@ from repro.faults.encodings import (
 from repro.faults.injection import inject_bits
 from repro.nvsim.organization import candidate_organizations
 from repro.results import ResultTable
-from repro.tech import get_node, horowitz
+from repro.tech import horowitz
 from repro.traffic import TrafficPattern
 
 # --- strategies -------------------------------------------------------------

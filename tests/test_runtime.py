@@ -5,7 +5,6 @@ import json
 
 import pytest
 
-from repro.cells import TechnologyClass, sram_cell, tentpoles_for
 from repro.cells.export import cell_from_dict, cell_to_dict
 from repro.config import parse_config
 from repro.core.engine import DSEEngine, SweepSpec
@@ -224,7 +223,7 @@ class TestEvaluationFingerprint:
         assert base != evaluation_fingerprint(
             stt_array_1mb, traffic, rows_fn_id="other:fn")
         assert base != evaluation_fingerprint(
-            stt_array_1mb, traffic, rows_fn_id=fn, schema_tag="eval-rows-v2")
+            stt_array_1mb, traffic, rows_fn_id=fn, schema_tag="eval-rows-v99")
 
     def test_deterministic_across_reconstruction(self, stt_array_1mb):
         rebuilt = ArrayCharacterization.from_dict(stt_array_1mb.to_dict())
@@ -253,6 +252,15 @@ class TestEvaluationCache:
         EvaluationCache(tmp_path, schema_tag="eval-rows-v1").store("ab" * 32, rows)
         bumped = EvaluationCache(tmp_path, schema_tag="eval-rows-v2")
         assert bumped.load("ab" * 32) is None
+
+    def test_row_key_order_survives_the_roundtrip(self, tmp_path):
+        # CSV column order is taken from row insertion order, so cached
+        # rows must preserve it to reproduce fresh CSVs byte-for-byte.
+        cache = EvaluationCache(tmp_path)
+        rows = [{"zeta": 1, "alpha": 2, "mid": 3}]
+        cache.store("ef" * 32, rows)
+        loaded = cache.load("ef" * 32)
+        assert [list(r) for r in loaded] == [["zeta", "alpha", "mid"]]
 
     def test_malformed_payload_is_a_miss(self, tmp_path):
         cache = EvaluationCache(tmp_path)

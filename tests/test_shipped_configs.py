@@ -5,11 +5,23 @@ from pathlib import Path
 
 import pytest
 
-from repro.config import load_config, load_study_config, run_config, run_study_config
+from repro.config import (
+    is_suite_config,
+    load_config,
+    load_study_config,
+    load_suite_config,
+    run_config,
+    run_study_config,
+    run_suite_config,
+)
 from repro.studies.pipeline import REGISTRY
 
 CONFIG_DIR = Path(__file__).resolve().parent.parent / "config"
 CONFIG_FILES = sorted(CONFIG_DIR.glob("*.json"))
+SWEEP_CONFIG_FILES = [
+    p for p in CONFIG_FILES
+    if not is_suite_config(json.loads(p.read_text()))
+]
 STUDY_CONFIG_FILES = sorted((CONFIG_DIR / "studies").glob("*.json"))
 
 
@@ -19,13 +31,36 @@ def test_samples_exist():
     assert "graph_study.json" in names
     assert "spec_llc_study.json" in names
     assert "array_characterization.json" in names
+    assert "suite.json" in names
 
 
-@pytest.mark.parametrize("path", CONFIG_FILES, ids=lambda p: p.name)
+@pytest.mark.parametrize("path", SWEEP_CONFIG_FILES, ids=lambda p: p.name)
 def test_sample_parses(path):
     parsed = load_config(path)
     assert parsed.cells
     assert parsed.capacities_bytes
+
+
+def test_suite_stub_parses():
+    parsed = load_suite_config(CONFIG_DIR / "suite.json")
+    assert parsed.only is None
+    assert parsed.shard_count == 1
+    assert parsed.incremental
+
+
+def test_suite_config_runs(tmp_path):
+    raw = json.loads((CONFIG_DIR / "suite.json").read_text())
+    raw["suite"]["only"] = ["ext_hierarchy"]
+    raw["suite"]["output_dir"] = str(tmp_path / "out")
+    raw["runtime"]["cache_dir"] = str(tmp_path / "cache")
+    run = run_suite_config(raw)
+    assert run.ok
+    assert set(run.tables) == {"ext_hierarchy"}
+    assert (tmp_path / "out" / "results" / "ext_hierarchy.csv").exists()
+    assert (tmp_path / "out" / "manifest.json").exists()
+    # A second pass against the same output dir is fully incremental.
+    again = run_suite_config(raw)
+    assert again.fully_incremental
 
 
 def test_main_dnn_study_runs(tmp_path):

@@ -1,11 +1,21 @@
-"""The full-reproduction driver: registry coverage, artifacts, warm runs."""
+"""The full-reproduction driver: registry coverage, artifacts, warm and
+incremental runs, sharded execution, and shard merging."""
+
+import dataclasses
 
 import pytest
 
 from repro.errors import CharacterizationError
 from repro.runtime.options import RuntimeOptions
+from repro.runtime.shard import RunManifest, plan_shard
 from repro.studies.pipeline import REGISTRY, StudySpec
-from repro.studies.summary import STUDIES, main, run_all
+from repro.studies.summary import (
+    EXIT_ALL_INCREMENTAL,
+    STUDIES,
+    main,
+    merge_shards,
+    run_all,
+)
 
 
 def test_study_registry_covers_evaluation_figures():
@@ -134,3 +144,215 @@ def test_main_expect_warm(tmp_path, capsys):
     args[0] = str(tmp_path / "o2")
     assert main(args + ["--expect-warm"]) == 0
     assert "warm run confirmed" in capsys.readouterr().out
+
+
+# --- incremental summary --------------------------------------------------
+
+SMALL_SUBSET = ["fig05_dnn_arrays", "ext_hierarchy"]
+
+
+def test_rerun_into_same_dir_is_incremental(tmp_path):
+    out = tmp_path / "out"
+    cold = run_all(out, only=SMALL_SUBSET)
+    assert cold.ok
+    assert cold.incremental_skips == 0
+    assert not cold.fully_incremental
+
+    warm = run_all(out, only=SMALL_SUBSET)
+    assert warm.ok
+    assert warm.fully_incremental
+    assert warm.incremental_skips == len(SMALL_SUBSET)
+    assert warm.warm  # nothing recomputed at all
+    for cold_outcome, warm_outcome in zip(cold.outcomes, warm.outcomes):
+        assert warm_outcome.cached
+        assert warm_outcome.status == "cached"
+        assert warm_outcome.rows == cold_outcome.rows
+
+
+def test_incremental_false_reruns_everything(tmp_path):
+    out = tmp_path / "out"
+    run_all(out, only=SMALL_SUBSET)
+    forced = run_all(out, only=SMALL_SUBSET, incremental=False)
+    assert forced.incremental_skips == 0
+    assert forced.telemetry.total > 0
+
+
+def test_changed_params_invalidate_incremental_entry(tmp_path, monkeypatch):
+    out = tmp_path / "out"
+    run_all(out, only=["ext_hierarchy"])
+    spec = STUDIES["ext_hierarchy"]
+    tweaked = dict(STUDIES)
+    tweaked["ext_hierarchy"] = dataclasses.replace(
+        spec, params={**dict(spec.params), "read_hit_rate": 0.5},
+    )
+    monkeypatch.setattr("repro.studies.summary.STUDIES", tweaked)
+    rerun = run_all(out, only=["ext_hierarchy"])
+    assert rerun.incremental_skips == 0
+
+
+def test_missing_artifact_invalidates_incremental_entry(tmp_path):
+    out = tmp_path / "out"
+    run_all(out, only=["ext_hierarchy"])
+    (out / "results" / "ext_hierarchy.csv").unlink()
+    rerun = run_all(out, only=["ext_hierarchy"])
+    assert rerun.incremental_skips == 0
+    assert (out / "results" / "ext_hierarchy.csv").exists()
+
+
+def test_failed_study_is_not_skipped_incrementally(tmp_path, monkeypatch):
+    out = tmp_path / "out"
+    broken = dict(STUDIES)
+    broken["boom"] = StudySpec(
+        name="boom", builder=_boom, figure="n/a", description="always fails",
+    )
+    monkeypatch.setattr("repro.studies.summary.STUDIES", broken)
+    runtime = RuntimeOptions(on_error="skip")
+    first = run_all(out, runtime=runtime, only=["boom"])
+    assert not first.ok
+    second = run_all(out, runtime=runtime, only=["boom"])
+    assert second.incremental_skips == 0  # failures are always retried
+
+
+def test_subset_run_retains_other_studies_incremental_state(tmp_path):
+    out = tmp_path / "out"
+    run_all(out, only=SMALL_SUBSET)
+    # A narrower run into the same directory must not clobber the other
+    # study's manifest entry ...
+    subset = run_all(out, only=SMALL_SUBSET[:1])
+    assert subset.fully_incremental
+    manifest = RunManifest.load(out)
+    assert manifest.names == (SMALL_SUBSET[0],)
+    assert manifest.lookup(SMALL_SUBSET[1]) is not None
+    # ... so a later full run is still fully incremental.
+    full = run_all(out, only=SMALL_SUBSET)
+    assert full.fully_incremental
+
+
+def test_main_fully_incremental_exit_code(tmp_path, capsys):
+    args = [str(tmp_path / "out"), "--only", "ext_hierarchy"]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(args) == EXIT_ALL_INCREMENTAL
+    out = capsys.readouterr().out
+    assert "| ext_hierarchy | cached |" in out
+    assert "up to date" in out
+    assert main(args + ["--force"]) == 0  # --force disables the skip
+
+
+# --- sharded execution + merge --------------------------------------------
+
+
+def test_sharded_runs_partition_the_suite(tmp_path):
+    only = ["fig05_dnn_arrays", "fig09_spec_llc", "ext_hierarchy"]
+    runs = [
+        run_all(tmp_path / f"s{i}", only=only, shard_index=i, shard_count=2)
+        for i in range(2)
+    ]
+    names = [o.name for run in runs for o in run.outcomes]
+    assert sorted(names) == sorted(only)
+    for i, run in enumerate(runs):
+        assert run.manifest.shard_index == i
+        assert run.manifest.suite == tuple(only)
+        assert (tmp_path / f"s{i}" / "manifest.json").exists()
+
+
+def test_shard_merge_matches_single_host_run(tmp_path, capsys):
+    """Acceptance: running the full suite as 3 shards and merging yields
+    the same study set, statuses, row counts, and byte-identical CSV
+    artifacts as a single-host run."""
+    single = run_all(tmp_path / "single", runtime=RuntimeOptions(
+        cache_dir=tmp_path / "cache"))
+    assert single.ok
+
+    shard_dirs = []
+    for i in range(3):
+        out = tmp_path / f"shard{i}"
+        shard_dirs.append(out)
+        run = run_all(out, runtime=RuntimeOptions(cache_dir=tmp_path / "cache"),
+                      shard_index=i, shard_count=3)
+        assert run.ok
+    capsys.readouterr()
+
+    merged = merge_shards(shard_dirs, tmp_path / "merged")
+    assert merged.ok
+    assert merged.names == tuple(REGISTRY)
+    assert merged.merged_from == (0, 1, 2)
+
+    single_manifest = RunManifest.load(tmp_path / "single")
+    for name in REGISTRY:
+        single_entry = single_manifest.entry_for(name)
+        merged_entry = merged.entry_for(name)
+        assert merged_entry.status == single_entry.status, name
+        assert merged_entry.rows == single_entry.rows, name
+        assert merged_entry.fingerprint == single_entry.fingerprint, name
+        single_csv = (tmp_path / "single" / "results" / f"{name}.csv").read_bytes()
+        merged_csv = (tmp_path / "merged" / "results" / f"{name}.csv").read_bytes()
+        assert single_csv == merged_csv, name
+        assert (tmp_path / "merged" / "reports" / f"{name}.md").exists()
+
+
+def test_main_merge(tmp_path, capsys):
+    only = "fig05_dnn_arrays,ext_hierarchy"
+    for i in range(2):
+        assert main([str(tmp_path / f"s{i}"), "--only", only,
+                     "--shard-index", str(i), "--shard-count", "2"]) == 0
+    capsys.readouterr()
+    rc = main([str(tmp_path / "merged"), "--merge",
+               str(tmp_path / "s0"), str(tmp_path / "s1")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "| fig05_dnn_arrays | ok |" in out
+    assert "| ext_hierarchy | ok |" in out
+    assert "2 studies from 2 shard(s)" in out
+
+
+def test_main_merge_detects_duplicate_study(tmp_path, capsys):
+    only = "fig05_dnn_arrays,ext_hierarchy"
+    for i in range(2):
+        assert main([str(tmp_path / f"s{i}"), "--only", only,
+                     "--shard-index", str(i), "--shard-count", "2"]) == 0
+    # The same shard twice: its study appears in both merge inputs.
+    rc = main([str(tmp_path / "merged"), "--merge",
+               str(tmp_path / "s0"), str(tmp_path / "s0")])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_main_merge_detects_missing_shard(tmp_path, capsys):
+    only = "fig05_dnn_arrays,ext_hierarchy"
+    for i in range(2):
+        assert main([str(tmp_path / f"s{i}"), "--only", only,
+                     "--shard-index", str(i), "--shard-count", "2"]) == 0
+    rc = main([str(tmp_path / "merged"), "--merge", str(tmp_path / "s0")])
+    assert rc == 2
+    assert "missing shard" in capsys.readouterr().err
+
+
+def test_main_merge_rejects_run_flags(tmp_path, capsys):
+    rc = main([str(tmp_path / "m"), "--merge", str(tmp_path / "s0"),
+               "--only", "fig09_spec_llc", "--expect-warm"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "--only" in err and "--expect-warm" in err
+    assert "cannot be combined with --merge" in err
+
+
+def test_manifest_write_is_atomic(tmp_path):
+    out = tmp_path / "out"
+    run_all(out, only=["ext_hierarchy"])
+    # No stray temp files once write() has returned.
+    assert [p.name for p in out.glob("manifest*")] == ["manifest.json"]
+    assert RunManifest.load(out).names == ("ext_hierarchy",)
+
+
+def test_main_shard_flags_validated(tmp_path, capsys):
+    rc = main([str(tmp_path), "--shard-index", "5", "--shard-count", "3"])
+    assert rc == 2
+    assert "shard_index" in capsys.readouterr().err
+
+
+def test_plan_matches_run_selection(tmp_path):
+    plan = plan_shard(list(REGISTRY), 1, 4)
+    run = run_all(tmp_path, only=None, shard_index=1, shard_count=4,
+                  runtime=RuntimeOptions(on_error="skip"))
+    assert tuple(o.name for o in run.outcomes) == plan.selected

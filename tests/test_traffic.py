@@ -1,6 +1,5 @@
 """Traffic substrate tests: patterns, sweeps, DNN, graph, SPEC."""
 
-import math
 
 import pytest
 
