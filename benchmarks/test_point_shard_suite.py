@@ -1,0 +1,130 @@
+"""Intra-study point sharding: merge parity and warm re-materialization.
+
+Acceptance contract for point sharding (see ``repro.runtime.shard`` and
+ISSUE 5):
+
+* one study's sweep split across N point shards, then merged, produces
+  CSV output **byte-identical** to the single-host run;
+* the merge re-materializes the full table entirely from the shards'
+  shared evaluation cache — zero characterizations, zero evaluation
+  blocks — and so does a warm re-run of the merged study;
+* ``merge_manifests`` rejects any dropped or duplicated sweep point.
+"""
+
+import json
+
+import pytest
+
+from repro.runtime.options import RuntimeOptions
+from repro.runtime.shard import RunManifest, ShardError, merge_manifests
+from repro.runtime.telemetry import SweepTelemetry
+from repro.studies.summary import merge_shards, run_all
+
+#: One engine-swept study with (array x traffic) evaluation blocks — the
+#: "heavy" shape point sharding exists for — plus an engine-free study
+#: covering the degenerate path (whole study re-run on every point shard).
+STUDIES = ["fig09_spec_llc", "ext_hierarchy"]
+POINT_SHARDS = 3
+
+
+def test_point_shard_merge_is_byte_identical_and_warm(tmp_path, capsys):
+    # --- single-host reference run (own cold cache) -----------------------
+    single = run_all(
+        tmp_path / "single",
+        runtime=RuntimeOptions(cache_dir=tmp_path / "cache-single"),
+        only=STUDIES,
+    )
+    assert single.ok
+
+    # --- the same studies as N point shards over one shared cache ---------
+    shared_cache = tmp_path / "cache-shared"
+    shard_dirs = []
+    for i in range(POINT_SHARDS):
+        out = tmp_path / f"point{i}"
+        shard_dirs.append(out)
+        run = run_all(
+            out,
+            runtime=RuntimeOptions(
+                cache_dir=shared_cache,
+                point_shard_index=i,
+                point_shard_count=POINT_SHARDS,
+            ),
+            only=STUDIES,
+        )
+        assert run.ok
+
+    capsys.readouterr()
+    merged = merge_shards(
+        shard_dirs, tmp_path / "merged",
+        runtime=RuntimeOptions(cache_dir=shared_cache),
+    )
+    assert merged.ok
+    assert merged.names == tuple(STUDIES)
+    assert merged.point_merged_from == tuple(range(POINT_SHARDS))
+
+    # --- byte parity + the merge recomputed nothing -----------------------
+    single_manifest = RunManifest.load(tmp_path / "single")
+    for name in STUDIES:
+        entry = merged.entry_for(name)
+        assert entry.rows == single_manifest.entry_for(name).rows, name
+        single_csv = (tmp_path / "single" / "results" / f"{name}.csv").read_bytes()
+        merged_csv = (tmp_path / "merged" / "results" / f"{name}.csv").read_bytes()
+        assert single_csv == merged_csv, f"{name}: merged CSV differs"
+        telemetry = SweepTelemetry.from_counters(entry.telemetry)
+        assert telemetry.completed == 0, f"{name}: merge re-characterized"
+        assert telemetry.evaluated == 0, f"{name}: merge re-evaluated"
+
+    # --- warm re-run of the merged shards' cache: zero fresh work ---------
+    warm = run_all(
+        tmp_path / "warm",
+        runtime=RuntimeOptions(cache_dir=shared_cache),
+        only=STUDIES,
+    )
+    assert warm.ok
+    assert warm.warm
+    assert warm.telemetry.completed == 0
+    assert warm.telemetry.evaluated == 0
+
+    capsys.readouterr()
+    sections = [
+        dict(RunManifest.load(d).entry_for("fig09_spec_llc").point_shard)
+        for d in shard_dirs
+    ]
+    planned = sections[0]["planned"]
+    per_shard = [len(s["selected"]) for s in sections]
+    print(f"\n=== point-shard suite bench ({POINT_SHARDS} point shards) ===")
+    print(f"fig09_spec_llc points: {planned} planned, "
+          f"per shard: {per_shard}")
+    print("merged CSVs byte-identical to single host; merge + warm re-run "
+          "performed 0 characterizations and 0 evaluations")
+
+
+def test_merge_rejects_tampered_point_partition(tmp_path):
+    shared_cache = tmp_path / "cache"
+    shard_dirs = []
+    for i in range(2):
+        out = tmp_path / f"point{i}"
+        shard_dirs.append(out)
+        run_all(
+            out,
+            runtime=RuntimeOptions(
+                cache_dir=shared_cache,
+                point_shard_index=i,
+                point_shard_count=2,
+            ),
+            only=["fig09_spec_llc"],
+        )
+    # Drop one selected point from shard 0's manifest accounting: the
+    # merge must refuse (that point's rows are in no shard's output).
+    manifest_path = shard_dirs[0] / "manifest.json"
+    payload = json.loads(manifest_path.read_text())
+    entry = payload["entries"][0]
+    assert entry["point_shard"]["selected"], "expected a non-empty slice"
+    entry["point_shard"]["selected"] = entry["point_shard"]["selected"][:-1]
+    manifest_path.write_text(json.dumps(payload))
+    manifests = [RunManifest.load(d) for d in shard_dirs]
+    with pytest.raises(ShardError, match="dropped"):
+        merge_manifests(manifests)
+    with pytest.raises(ShardError, match="dropped"):
+        merge_shards(shard_dirs, tmp_path / "merged",
+                     runtime=RuntimeOptions(cache_dir=shared_cache))

@@ -94,6 +94,8 @@ def _override_runtime(
     trace_cache_dir: Optional[str],
     seed: Optional[int],
     progress,
+    point_shard_index: Optional[int] = None,
+    point_shard_count: Optional[int] = None,
 ):
     """Apply CLI-style overrides on top of a config's runtime options."""
     updates: dict[str, Any] = {"progress": progress}
@@ -105,7 +107,14 @@ def _override_runtime(
         updates["trace_cache_dir"] = trace_cache_dir
     if seed is not None:
         updates["seed"] = seed
-    return dataclasses.replace(runtime, **updates)
+    if point_shard_index is not None:
+        updates["point_shard_index"] = point_shard_index
+    if point_shard_count is not None:
+        updates["point_shard_count"] = point_shard_count
+    try:
+        return dataclasses.replace(runtime, **updates)
+    except ValueError as exc:
+        raise ConfigError(f"runtime overrides: {exc}") from exc
 
 
 def _destination(path: str) -> Path:
@@ -128,13 +137,15 @@ def run_config(
     trace_cache_dir: Optional[str] = None,
     seed: Optional[int] = None,
     progress=None,
+    point_shard_index: Optional[int] = None,
+    point_shard_count: Optional[int] = None,
 ) -> ResultTable:
     """Execute a sweep configuration end to end.
 
-    ``workers``/``cache_dir``/``trace_cache_dir``/``seed`` override the
-    config's ``runtime`` section (e.g. from CLI flags); ``progress``
-    receives one :class:`~repro.runtime.telemetry.ProgressEvent` per
-    sweep point.
+    ``workers``/``cache_dir``/``trace_cache_dir``/``seed``/
+    ``point_shard_index``/``point_shard_count`` override the config's
+    ``runtime`` section (e.g. from CLI flags); ``progress`` receives one
+    :class:`~repro.runtime.telemetry.ProgressEvent` per sweep point.
     """
     config = load_config(source)
     spec = SweepSpec(
@@ -149,7 +160,7 @@ def run_config(
     )
     runtime = _override_runtime(
         config.runtime_options(), workers, cache_dir, trace_cache_dir, seed,
-        progress,
+        progress, point_shard_index, point_shard_count,
     )
     table = DSEEngine.from_options(runtime).run(spec)
     _write_csv(table, config.output_csv)
@@ -163,11 +174,15 @@ def run_study_config(
     trace_cache_dir: Optional[str] = None,
     seed: Optional[int] = None,
     progress=None,
+    point_shard_index: Optional[int] = None,
+    point_shard_count: Optional[int] = None,
 ) -> ResultTable:
     """Execute a registered-study configuration end to end.
 
     Overrides work exactly like :func:`run_config`.  Writes the CSV and
     markdown report the config asks for and returns the study's table.
+    Under an active point shard the table (and artifacts) hold only this
+    shard's slice of the study's sweep points.
     """
     config = load_study_config(source)
     # Imported lazily to keep sweep-only usage free of the studies stack.
@@ -176,7 +191,8 @@ def run_study_config(
 
     spec = get_study(config.study)
     runtime = _override_runtime(
-        config.runtime, workers, cache_dir, trace_cache_dir, seed, progress
+        config.runtime, workers, cache_dir, trace_cache_dir, seed, progress,
+        point_shard_index, point_shard_count,
     )
     # Validate params against the builder's signature up front, so a
     # TypeError raised deep inside a study is never misreported as a
@@ -212,6 +228,8 @@ def run_suite_config(
     trace_cache_dir: Optional[str] = None,
     seed: Optional[int] = None,
     progress=None,
+    point_shard_index: Optional[int] = None,
+    point_shard_count: Optional[int] = None,
 ):
     """Execute a suite-run configuration end to end.
 
@@ -220,14 +238,20 @@ def run_suite_config(
     config's runtime options, writes CSVs, reports, and the shard
     manifest under ``suite.output_dir``, and returns the
     :class:`~repro.studies.summary.SummaryRun`.  Overrides work exactly
-    like :func:`run_config`.
+    like :func:`run_config`; the suite section's point-shard keys beat
+    the runtime section's, and explicit overrides beat both.
     """
     config = load_suite_config(source)
     # Imported lazily to keep sweep-only usage free of the studies stack.
     from repro.studies.summary import run_all
 
+    if point_shard_index is None:
+        point_shard_index = config.point_shard_index
+    if point_shard_count is None:
+        point_shard_count = config.point_shard_count
     runtime = _override_runtime(
-        config.runtime, workers, cache_dir, trace_cache_dir, seed, progress
+        config.runtime, workers, cache_dir, trace_cache_dir, seed, progress,
+        point_shard_index, point_shard_count,
     )
     return run_all(
         config.output_dir,

@@ -28,7 +28,9 @@ A config describes one design sweep::
         "cache_dir": ".nvmcache",
         "trace_cache_dir": null,
         "on_error": "raise" | "skip",
-        "seed": null
+        "seed": null,
+        "point_shard_index": 0,
+        "point_shard_count": 1
       },
       "output_csv": "results.csv"
     }
@@ -37,8 +39,10 @@ The optional ``runtime`` section controls sweep execution (see
 :mod:`repro.runtime`): process-pool width, the persistent cache root
 (characterizations, evaluation blocks, and LLC traces live under it),
 an optional trace-cache override, whether a failing design point aborts
-the sweep or is skipped with telemetry, and a seed override for
-stochastic components.
+the sweep or is skipped with telemetry, a seed override for stochastic
+components, and intra-study point sharding (run only the deterministic
+1/``point_shard_count`` slice of every sweep's fingerprinted point
+space).
 
 A second config shape describes one *registered study* instead of a raw
 sweep (the ``config/studies/*.json`` stubs)::
@@ -61,6 +65,8 @@ incremental) pass over the study registry, the config-file form of
         "output_dir": "output",
         "shard_index": 0,
         "shard_count": 3,
+        "point_shard_index": 0,      // optional intra-study sharding
+        "point_shard_count": 1,
         "incremental": true
       },
       "runtime": { "workers": 4, "cache_dir": ".nvmcache" }
@@ -113,6 +119,8 @@ class ParsedConfig:
     trace_cache_dir: Optional[str] = None
     on_error: str = "raise"
     seed: Optional[int] = None
+    point_shard_index: int = 0
+    point_shard_count: int = 1
 
     def runtime_options(self, progress=None) -> RuntimeOptions:
         """The sweep's runtime section as shared :class:`RuntimeOptions`."""
@@ -123,6 +131,8 @@ class ParsedConfig:
             on_error=self.on_error,
             progress=progress,
             seed=self.seed,
+            point_shard_index=self.point_shard_index,
+            point_shard_count=self.point_shard_count,
         )
 
 
@@ -139,7 +149,11 @@ class StudyConfig:
 
 @dataclass(frozen=True)
 class SuiteConfig:
-    """A validated suite-run configuration (sharded/incremental summary)."""
+    """A validated suite-run configuration (sharded/incremental summary).
+
+    ``point_shard_index`` / ``point_shard_count`` are ``None`` when the
+    suite section leaves intra-study sharding to the runtime section.
+    """
 
     only: Optional[Sequence[str]]
     output_dir: str
@@ -147,6 +161,8 @@ class SuiteConfig:
     shard_count: int
     incremental: bool
     runtime: RuntimeOptions
+    point_shard_index: Optional[int] = None
+    point_shard_count: Optional[int] = None
 
 
 def _require(mapping: Mapping[str, Any], key: str, context: str) -> Any:
@@ -276,7 +292,18 @@ def parse_config(raw: Mapping[str, Any]) -> ParsedConfig:
         trace_cache_dir=runtime.trace_cache_dir,
         on_error=runtime.on_error,
         seed=runtime.seed,
+        point_shard_index=runtime.point_shard_index,
+        point_shard_count=runtime.point_shard_count,
     )
+
+
+def _validate_point_shard(index: int, count: int, context: str) -> None:
+    if count < 1:
+        raise ConfigError(f"{context}.point_shard_count must be >= 1")
+    if not 0 <= index < count:
+        raise ConfigError(
+            f"{context}.point_shard_index must be in [0, {count}), got {index}"
+        )
 
 
 def _parse_runtime(section: Any) -> RuntimeOptions:
@@ -292,12 +319,17 @@ def _parse_runtime(section: Any) -> RuntimeOptions:
     cache_dir = section.get("cache_dir")
     trace_cache_dir = section.get("trace_cache_dir")
     seed = section.get("seed")
+    point_shard_index = int(section.get("point_shard_index", 0))
+    point_shard_count = int(section.get("point_shard_count", 1))
+    _validate_point_shard(point_shard_index, point_shard_count, "runtime")
     return RuntimeOptions(
         workers=workers,
         cache_dir=None if cache_dir is None else str(cache_dir),
         trace_cache_dir=None if trace_cache_dir is None else str(trace_cache_dir),
         on_error=on_error,
         seed=None if seed is None else int(seed),
+        point_shard_index=point_shard_index,
+        point_shard_count=point_shard_count,
     )
 
 
@@ -341,6 +373,14 @@ def parse_suite_config(raw: Mapping[str, Any]) -> SuiteConfig:
         raise ConfigError(
             f"suite.shard_index must be in [0, {shard_count}), got {shard_index}"
         )
+    point_shard_index = section.get("point_shard_index")
+    point_shard_count = section.get("point_shard_count")
+    if point_shard_index is not None or point_shard_count is not None:
+        point_shard_index = int(point_shard_index or 0)
+        point_shard_count = int(
+            point_shard_count if point_shard_count is not None else 1
+        )
+        _validate_point_shard(point_shard_index, point_shard_count, "suite")
     return SuiteConfig(
         only=only,
         output_dir=str(section.get("output_dir", "output")),
@@ -348,6 +388,8 @@ def parse_suite_config(raw: Mapping[str, Any]) -> SuiteConfig:
         shard_count=shard_count,
         incremental=bool(section.get("incremental", True)),
         runtime=_parse_runtime(raw.get("runtime", {})),
+        point_shard_index=point_shard_index,
+        point_shard_count=point_shard_count,
     )
 
 

@@ -56,6 +56,7 @@ from repro.runtime.fingerprint import (
 from repro.runtime.options import RuntimeOptions, engine_for, ensure_runtime
 from repro.runtime.shard import (
     ManifestEntry,
+    PointShard,
     RunManifest,
     ShardError,
     ShardPlan,
@@ -63,6 +64,8 @@ from repro.runtime.shard import (
     merge_manifests,
     partition_fingerprints,
     plan_shard,
+    point_set_digest,
+    point_shard_section,
     schema_tags,
     shard_assignments,
     study_fingerprint,
@@ -78,6 +81,7 @@ __all__ = [
     "JsonObjectCache",
     "LLCTraceCache",
     "ManifestEntry",
+    "PointShard",
     "ProgressEvent",
     "RunManifest",
     "RuntimeOptions",
@@ -100,6 +104,8 @@ __all__ = [
     "plan_shard",
     "point_fingerprint",
     "point_payload",
+    "point_set_digest",
+    "point_shard_section",
     "schema_tags",
     "shard_assignments",
     "study_fingerprint",

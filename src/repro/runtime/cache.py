@@ -27,14 +27,35 @@ Three stores share this machinery:
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Any, Iterator, Optional, Union
 
 from repro.errors import ReproError
 from repro.nvsim.result import ArrayCharacterization
 from repro.runtime.fingerprint import EVAL_SCHEMA_TAG, SCHEMA_TAG, TRACE_SCHEMA_TAG
+
+#: Process-wide monotonic suffix so concurrent stores of the *same*
+#: fingerprint from different threads never collide on one temp name.
+_TMP_COUNTER = itertools.count()
+
+
+def _tmp_path_for(path: Path) -> Path:
+    """A unique sibling temp path for one atomic write.
+
+    pid + thread id + a process-wide counter make the name unique across
+    processes, across threads, and across repeated stores from the same
+    thread.  The ``.tmp.`` infix keeps temp files invisible to the
+    ``*.json`` entry globs; :meth:`JsonObjectCache.clear` sweeps up any
+    leaked by a run that died between write and rename.
+    """
+    return path.parent / (
+        f"{path.name}.tmp.{os.getpid()}"
+        f".{threading.get_ident()}.{next(_TMP_COUNTER)}"
+    )
 
 
 class JsonObjectCache:
@@ -105,13 +126,17 @@ class JsonObjectCache:
             "fingerprint": fingerprint,
             "result": self._encode(result),
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = _tmp_path_for(path)
         # No key sorting: the result payload must round-trip with its
         # original key order, so rows served from cache produce CSVs
         # byte-identical to freshly computed ones (column order is taken
         # from row insertion order).
-        tmp.write_text(json.dumps(payload))
-        os.replace(tmp, path)
+        try:
+            tmp.write_text(json.dumps(payload))
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         self.stores += 1
 
     def __contains__(self, fingerprint: str) -> bool:
@@ -130,11 +155,18 @@ class JsonObjectCache:
         return sum(1 for _ in self.fingerprints())
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry; returns the number removed.
+
+        Also sweeps up stale ``*.tmp.*`` files left by runs that died
+        between writing a temp file and renaming it into place (those
+        never count as entries — they are invisible to loads and globs).
+        """
         removed = 0
         for entry in self.root.glob("??/*.json"):
             entry.unlink(missing_ok=True)
             removed += 1
+        for stale in self.root.glob("??/*.tmp.*"):
+            stale.unlink(missing_ok=True)
         return removed
 
     def stats(self) -> dict[str, int]:

@@ -16,6 +16,7 @@ and keep going.
 
 from __future__ import annotations
 
+import copy
 import math
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
@@ -32,10 +33,12 @@ from repro.runtime.fingerprint import (
     evaluation_fingerprint,
     point_fingerprint,
 )
+from repro.runtime.shard import PointShard
 from repro.runtime.telemetry import (
     CACHED,
     COMPLETED,
     FAILED,
+    SKIPPED,
     ProgressEvent,
     SweepTelemetry,
 )
@@ -160,11 +163,19 @@ def parallel_map(
     results: List[Any] = [None] * len(materialized)
     with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
         futures = [pool.submit(_apply_chunk, (fn, chunk)) for chunk in chunks]
-        for future in as_completed(futures):
-            for index, value in future.result():
-                results[index] = value
-                if on_result is not None:
-                    on_result(index, value)
+        try:
+            for future in as_completed(futures):
+                for index, value in future.result():
+                    results[index] = value
+                    if on_result is not None:
+                        on_result(index, value)
+        except BaseException:
+            # Cancel-on-error, matching characterize_points/evaluate_blocks:
+            # a failing chunk must not leave the rest of the pool grinding
+            # through work whose results will never be consumed.
+            for future in futures:
+                future.cancel()
+            raise
     return results
 
 
@@ -195,6 +206,7 @@ def characterize_points(
     on_error: str = "raise",
     telemetry: Optional[SweepTelemetry] = None,
     chunksize: Optional[int] = None,
+    point_shard: Optional[PointShard] = None,
 ) -> List[Optional[ArrayCharacterization]]:
     """Characterize every point, in order, using every cache available.
 
@@ -202,23 +214,46 @@ def characterize_points(
     point that failed under ``on_error="skip"``.  Lookup order is the
     in-process ``memory`` dict, then the on-disk ``cache``; fresh results
     are written back to both.  Duplicate points are characterized once.
+
+    An active ``point_shard`` restricts the work to this host's
+    deterministic slice of the point space: a point whose content
+    fingerprint lands on another shard is returned as ``None`` without
+    touching any cache, and is reported through telemetry as a
+    ``skipped`` event carrying the fingerprint — the accounting behind
+    the run manifest's point-shard section and the merge step's
+    exactly-once verification.
     """
     if on_error not in ("raise", "skip"):
         raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
     telemetry = telemetry if telemetry is not None else SweepTelemetry()
     memory = memory if memory is not None else {}
+    selector = (
+        point_shard
+        if point_shard is not None and not point_shard.is_whole_space
+        else None
+    )
     total = len(points)
     results: List[Optional[ArrayCharacterization]] = [None] * total
+
+    def _event_fp(fp: str) -> str:
+        # Fingerprints ride on events only under point sharding, where
+        # downstream consumers need them for partition accounting.
+        return fp if selector is not None else ""
 
     pending_by_fp: dict[str, List[int]] = {}
     fingerprints: List[str] = []
     for index, point in enumerate(points):
         fp = point.fingerprint()
         fingerprints.append(fp)
+        if selector is not None and not selector.selects(fp):
+            telemetry.emit(ProgressEvent(
+                SKIPPED, point.label, index, total, fingerprint=fp))
+            continue
         if fp in memory:
             results[index] = memory[fp]
             telemetry.emit(ProgressEvent(
-                CACHED, point.label, index, total, source="memory"))
+                CACHED, point.label, index, total, source="memory",
+                fingerprint=_event_fp(fp)))
             continue
         if fp in pending_by_fp:
             pending_by_fp[fp].append(index)
@@ -228,7 +263,8 @@ def characterize_points(
             memory[fp] = array
             results[index] = array
             telemetry.emit(ProgressEvent(
-                CACHED, point.label, index, total, source="disk"))
+                CACHED, point.label, index, total, source="disk",
+                fingerprint=_event_fp(fp)))
             continue
         pending_by_fp[fp] = [index]
 
@@ -242,12 +278,15 @@ def characterize_points(
             kind = COMPLETED if nth == 0 else CACHED
             telemetry.emit(ProgressEvent(
                 kind, points[index].label, index, total,
-                source="" if nth == 0 else "memory"))
+                source="" if nth == 0 else "memory",
+                fingerprint=_event_fp(fp)))
 
     def _record_failure(first_index: int, message: str) -> None:
-        for index in pending_by_fp[fingerprints[first_index]]:
+        fp = fingerprints[first_index]
+        for index in pending_by_fp[fp]:
             telemetry.emit(ProgressEvent(
-                FAILED, points[index].label, index, total, error=message))
+                FAILED, points[index].label, index, total, error=message,
+                fingerprint=_event_fp(fp)))
         if on_error == "raise":
             raise CharacterizationError(
                 f"{points[first_index].label}: {message}")
@@ -306,7 +345,8 @@ def evaluate_blocks(
     memory: Optional[dict] = None,
     telemetry: Optional[SweepTelemetry] = None,
     chunksize: Optional[int] = None,
-) -> List[List[dict]]:
+    point_shard: Optional[PointShard] = None,
+) -> List[Optional[List[dict]]]:
     """Evaluate every array under the whole traffic block, in order.
 
     Returns one list of flattened result rows per array.  ``rows_fn``
@@ -315,8 +355,16 @@ def evaluate_blocks(
     ``extra`` carries its JSON-able parameters and participates in the
     cache key.  Lookup order mirrors :func:`characterize_points`: the
     in-process ``memory`` dict, then the on-disk ``cache``; fresh blocks
-    are written back to both.  Returned row dicts are fresh copies, so
-    callers may annotate them without corrupting cached entries.
+    are written back to both.  Returned rows are deep copies, so callers
+    may annotate them — including nested values — without corrupting the
+    in-memory memo or the persisted cache entries.
+
+    An active ``point_shard`` restricts the work to this host's slice of
+    the (array x traffic-block) space by evaluation fingerprint: blocks
+    owned by another shard come back as ``None`` (reported as
+    ``skipped`` evaluate-phase telemetry).  Sweeps sharded at the
+    characterization level should *not* shard evaluation again — the
+    surviving arrays already are this shard's slice.
     """
     if rows_fn is None:
         # Imported lazily: repro.core builds on this module, so a
@@ -327,14 +375,20 @@ def evaluate_blocks(
     traffic = tuple(traffic)
     telemetry = telemetry if telemetry is not None else SweepTelemetry()
     memory = memory if memory is not None else {}
+    selector = (
+        point_shard
+        if point_shard is not None and not point_shard.is_whole_space
+        else None
+    )
     fn_id = rows_fn_id(rows_fn)
     total = len(arrays)
     results: List[Optional[List[dict]]] = [None] * total
 
-    def _emit(kind: str, index: int, source: str = "") -> None:
+    def _emit(kind: str, index: int, source: str = "", fp: str = "") -> None:
         telemetry.emit(ProgressEvent(
             kind, arrays[index].label, index, total,
             phase="evaluate", source=source,
+            fingerprint=fp if selector is not None else "",
         ))
 
     context = evaluation_context(traffic, rows_fn_id=fn_id, extra=extra)
@@ -343,9 +397,12 @@ def evaluate_blocks(
     for index, array in enumerate(arrays):
         fp = evaluation_fingerprint(array, context=context)
         fingerprints.append(fp)
+        if selector is not None and not selector.selects(fp):
+            _emit(SKIPPED, index, fp=fp)
+            continue
         if fp in memory:
             results[index] = memory[fp]
-            _emit(CACHED, index, source="memory")
+            _emit(CACHED, index, source="memory", fp=fp)
             continue
         if fp in pending_by_fp:
             pending_by_fp[fp].append(index)
@@ -354,7 +411,7 @@ def evaluate_blocks(
         if rows is not None:
             memory[fp] = rows
             results[index] = rows
-            _emit(CACHED, index, source="disk")
+            _emit(CACHED, index, source="disk", fp=fp)
             continue
         pending_by_fp[fp] = [index]
 
@@ -366,7 +423,7 @@ def evaluate_blocks(
         for nth, index in enumerate(pending_by_fp[fp]):
             results[index] = rows
             _emit(COMPLETED if nth == 0 else CACHED, index,
-                  source="" if nth == 0 else "memory")
+                  source="" if nth == 0 else "memory", fp=fp)
 
     pending = [(indices[0], arrays[indices[0]])
                for indices in pending_by_fp.values()]
@@ -390,4 +447,8 @@ def evaluate_blocks(
                 for future in futures:
                     future.cancel()
                 raise
-    return [[dict(row) for row in rows] for rows in results]
+    # Deep-copy at the memo boundary: a shallow per-row dict() copy would
+    # still alias nested mutable values (lists, dicts) with the in-memory
+    # memo and the block handed to the persistent cache, so annotating a
+    # returned row could silently corrupt every later cache hit.
+    return [copy.deepcopy(rows) for rows in results]

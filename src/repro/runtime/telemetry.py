@@ -20,19 +20,23 @@ logger = logging.getLogger("repro.runtime")
 COMPLETED = "completed"
 CACHED = "cached"
 FAILED = "failed"
+#: A point excluded by this host's point-shard selector: another shard
+#: owns it, so it is accounted (for merge verification) but never run.
+SKIPPED = "skipped"
 
 
 @dataclass(frozen=True)
 class ProgressEvent:
     """One sweep point's outcome."""
 
-    kind: str  # COMPLETED | CACHED | FAILED
+    kind: str  # COMPLETED | CACHED | FAILED | SKIPPED
     label: str  # human-readable point label
     index: int  # position in the sweep's deterministic order
     total: int  # points in this phase
     phase: str = "characterize"  # "characterize" | "evaluate" | "trace"
     source: str = ""  # for CACHED: "memory" | "disk"
     error: str = ""  # for FAILED: the error message
+    fingerprint: str = ""  # content fingerprint, set under point sharding
 
     def describe(self) -> str:
         extra = ""
@@ -40,6 +44,8 @@ class ProgressEvent:
             extra = f" [{self.source}]"
         elif self.kind == FAILED:
             extra = f": {self.error}"
+        elif self.kind == SKIPPED:
+            extra = " [other shard]"
         return (
             f"{self.phase} {self.index + 1}/{self.total} "
             f"{self.kind} {self.label}{extra}"
@@ -57,14 +63,31 @@ class SweepTelemetry:
     completed: int = 0  # characterize-phase points computed fresh
     cached: int = 0  # characterize-phase points served from a cache
     failed: int = 0
+    skipped: int = 0  # characterize-phase points owned by another point shard
     evaluated: int = 0  # evaluate-phase (array x traffic) blocks computed fresh
     eval_cached: int = 0  # evaluate-phase blocks served from a cache
+    eval_skipped: int = 0  # evaluate-phase blocks owned by another point shard
     trace_simulated: int = 0  # trace-phase LLC regenerations run fresh
     trace_cached: int = 0  # trace-phase regenerations served from a cache
     failures: List[ProgressEvent] = field(default_factory=list)
+    #: Point-shard accounting, keyed by content fingerprint.  Populated
+    #: only when a sweep runs under a point-shard selector: every sweep
+    #: point lands in ``planned_points``, this shard's slice additionally
+    #: in ``selected_points``, and successfully characterized points in
+    #: ``completed_points`` — the data behind the manifest's point-shard
+    #: section and the merge step's exactly-once verification.
+    planned_points: set = field(default_factory=set)
+    selected_points: set = field(default_factory=set)
+    completed_points: set = field(default_factory=set)
 
     def emit(self, event: ProgressEvent) -> None:
-        if event.kind == COMPLETED and event.phase == "evaluate":
+        if event.kind == SKIPPED:
+            if event.phase == "evaluate":
+                self.eval_skipped += 1
+            else:
+                self.skipped += 1
+            logger.debug("%s", event.describe())
+        elif event.kind == COMPLETED and event.phase == "evaluate":
             self.evaluated += 1
             logger.debug("%s", event.describe())
         elif event.kind == CACHED and event.phase == "evaluate":
@@ -86,6 +109,12 @@ class SweepTelemetry:
             self.failed += 1
             self.failures.append(event)
             logger.warning("%s", event.describe())
+        if event.fingerprint and event.phase == "characterize":
+            self.planned_points.add(event.fingerprint)
+            if event.kind != SKIPPED:
+                self.selected_points.add(event.fingerprint)
+            if event.kind in (COMPLETED, CACHED):
+                self.completed_points.add(event.fingerprint)
         if self.callback is not None:
             self.callback(event)
 
@@ -105,8 +134,10 @@ class SweepTelemetry:
             "completed": self.completed,
             "cached": self.cached,
             "failed": self.failed,
+            "skipped": self.skipped,
             "evaluated": self.evaluated,
             "eval_cached": self.eval_cached,
+            "eval_skipped": self.eval_skipped,
             "trace_simulated": self.trace_simulated,
             "trace_cached": self.trace_cached,
         }
@@ -120,8 +151,8 @@ class SweepTelemetry:
         """
         telemetry = cls()
         for name in (
-            "completed", "cached", "failed", "evaluated", "eval_cached",
-            "trace_simulated", "trace_cached",
+            "completed", "cached", "failed", "skipped", "evaluated",
+            "eval_cached", "eval_skipped", "trace_simulated", "trace_cached",
         ):
             setattr(telemetry, name, int(counters.get(name, 0)))
         return telemetry
@@ -131,17 +162,24 @@ class SweepTelemetry:
         self.completed += other.completed
         self.cached += other.cached
         self.failed += other.failed
+        self.skipped += other.skipped
         self.evaluated += other.evaluated
         self.eval_cached += other.eval_cached
+        self.eval_skipped += other.eval_skipped
         self.trace_simulated += other.trace_simulated
         self.trace_cached += other.trace_cached
         self.failures.extend(other.failures)
+        self.planned_points |= other.planned_points
+        self.selected_points |= other.selected_points
+        self.completed_points |= other.completed_points
 
     def summary(self) -> str:
         text = (
             f"{self.total} points: {self.completed} characterized, "
             f"{self.cached} cached, {self.failed} failed"
         )
+        if self.skipped:
+            text += f", {self.skipped} on other point shards"
         if self.evaluated or self.eval_cached:
             text += (
                 f"; {self.evaluated} blocks evaluated, "
