@@ -2,6 +2,7 @@
 
 from repro.config.loader import (
     load_config,
+    load_service_config,
     load_study_config,
     load_suite_config,
     run_config,
@@ -10,25 +11,32 @@ from repro.config.loader import (
 )
 from repro.config.schema import (
     ParsedConfig,
+    ServiceConfig,
     StudyConfig,
     SuiteConfig,
+    is_service_config,
     is_study_config,
     is_suite_config,
     parse_config,
+    parse_service_config,
     parse_study_config,
     parse_suite_config,
 )
 
 __all__ = [
     "ParsedConfig",
+    "ServiceConfig",
     "StudyConfig",
     "SuiteConfig",
+    "is_service_config",
     "is_study_config",
     "is_suite_config",
     "load_config",
+    "load_service_config",
     "load_study_config",
     "load_suite_config",
     "parse_config",
+    "parse_service_config",
     "parse_study_config",
     "parse_suite_config",
     "run_config",

@@ -24,11 +24,14 @@ from typing import Any, Mapping, Optional, Union
 
 from repro.config.schema import (
     ParsedConfig,
+    ServiceConfig,
     StudyConfig,
     SuiteConfig,
+    is_service_config,
     is_study_config,
     is_suite_config,
     parse_config,
+    parse_service_config,
     parse_study_config,
     parse_suite_config,
 )
@@ -67,12 +70,27 @@ def load_config(source: ConfigSource) -> ParsedConfig:
             "this is a suite-run config; run it with run_suite_config "
             "(CLI: it is dispatched automatically)"
         )
+    if is_service_config(raw):
+        raise ConfigError(
+            "this is a service config; start it with `nvmexplorer serve`"
+        )
     return parse_config(raw)
 
 
 def load_study_config(source: ConfigSource) -> StudyConfig:
     """Load and validate a registered-study config from a path or dict."""
     return parse_study_config(_load_raw(source))
+
+
+def load_service_config(source: Union[ConfigSource, ServiceConfig]) -> ServiceConfig:
+    """Load and validate a serving config from a path or dict.
+
+    An already-parsed :class:`ServiceConfig` passes through unchanged
+    (the CLI validates once, applies flag overrides, and forwards it).
+    """
+    if isinstance(source, ServiceConfig):
+        return source
+    return parse_service_config(_load_raw(source))
 
 
 def load_suite_config(source: Union[ConfigSource, SuiteConfig]) -> SuiteConfig:

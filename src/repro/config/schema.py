@@ -165,6 +165,29 @@ class SuiteConfig:
     point_shard_count: Optional[int] = None
 
 
+@dataclass(frozen=True)
+class ServiceConfig:
+    """A validated serving configuration (``config/service.json``).
+
+    ``workers`` bounds concurrently *running* studies (each may fan out
+    further over its own process pool via ``runtime.workers``);
+    ``rate_limit_rps``/``rate_limit_burst`` parameterize the per-client
+    submit token bucket (``rps <= 0`` disables limiting);
+    ``warm_studies`` names registry studies the warm-keeper pre-computes
+    whenever their fingerprints change.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8177
+    workers: int = 2
+    rate_limit_rps: float = 20.0
+    rate_limit_burst: int = 40
+    warm_studies: tuple = ()
+    warm_interval_s: float = 300.0
+    drain_timeout_s: float = 30.0
+    runtime: RuntimeOptions = RuntimeOptions()
+
+
 def _require(mapping: Mapping[str, Any], key: str, context: str) -> Any:
     if key not in mapping:
         raise ConfigError(f"{context}: missing required key {key!r}")
@@ -341,6 +364,61 @@ def is_study_config(raw: Mapping[str, Any]) -> bool:
 def is_suite_config(raw: Mapping[str, Any]) -> bool:
     """Does this raw config describe a (sharded) suite run?"""
     return isinstance(raw, Mapping) and "suite" in raw
+
+
+def is_service_config(raw: Mapping[str, Any]) -> bool:
+    """Does this raw config describe a serving deployment?"""
+    return isinstance(raw, Mapping) and "service" in raw
+
+
+def parse_service_config(raw: Mapping[str, Any]) -> ServiceConfig:
+    """Validate a raw service config dict (``{"service": {...}, "runtime": {...}}``)."""
+    if not isinstance(raw, Mapping):
+        raise ConfigError("config root must be an object")
+    section = _require(raw, "service", "config")
+    if not isinstance(section, Mapping):
+        raise ConfigError("service section must be an object")
+    port = int(section.get("port", 8177))
+    if not 0 <= port <= 65535:
+        raise ConfigError(f"service.port must be in [0, 65535], got {port}")
+    workers = int(section.get("workers", 2))
+    if workers < 1:
+        raise ConfigError("service.workers must be >= 1")
+    rate_limit_rps = float(section.get("rate_limit_rps", 20.0))
+    rate_limit_burst = int(section.get("rate_limit_burst", 40))
+    if rate_limit_rps > 0 and rate_limit_burst < 1:
+        raise ConfigError("service.rate_limit_burst must be >= 1")
+    warm_studies = section.get("warm_studies", [])
+    if not isinstance(warm_studies, Sequence) or isinstance(warm_studies, str):
+        raise ConfigError("service.warm_studies must be a list of study names")
+    if warm_studies:
+        # Imported lazily, exactly like parse_study_config: service parsing
+        # should not drag the engine stack into sweep-only usage.
+        from repro.errors import ReproError
+        from repro.studies.pipeline import get_study
+
+        try:
+            for name in warm_studies:
+                get_study(str(name))
+        except ReproError as exc:
+            raise ConfigError(str(exc)) from None
+    warm_interval_s = float(section.get("warm_interval_s", 300.0))
+    if warm_interval_s <= 0:
+        raise ConfigError("service.warm_interval_s must be > 0")
+    drain_timeout_s = float(section.get("drain_timeout_s", 30.0))
+    if drain_timeout_s < 0:
+        raise ConfigError("service.drain_timeout_s must be >= 0")
+    return ServiceConfig(
+        host=str(section.get("host", "127.0.0.1")),
+        port=port,
+        workers=workers,
+        rate_limit_rps=rate_limit_rps,
+        rate_limit_burst=rate_limit_burst,
+        warm_studies=tuple(str(name) for name in warm_studies),
+        warm_interval_s=warm_interval_s,
+        drain_timeout_s=drain_timeout_s,
+        runtime=_parse_runtime(raw.get("runtime", {})),
+    )
 
 
 def parse_suite_config(raw: Mapping[str, Any]) -> SuiteConfig:

@@ -25,8 +25,14 @@ ProcessPoolExecutor`, with deterministic result ordering and a serial
 * :mod:`repro.runtime.telemetry` — progress events (completed / cached /
   failed points) via callback and logging instead of dying on the first
   :class:`~repro.errors.CharacterizationError`.
+* :mod:`repro.runtime.aio` — async-safe adapters (a thread-safe telemetry
+  bridge onto an event loop, a bounded thread pool for blocking studies)
+  that let asyncio services drive the engine without stalling the loop.
+* :mod:`repro.runtime.interrupt` — SIGTERM delivered as
+  ``KeyboardInterrupt`` so drivers and services share one drain path.
 """
 
+from repro.runtime.aio import AsyncStudyRunner, TelemetryBridge
 from repro.runtime.cache import (
     CharacterizationCache,
     EvaluationCache,
@@ -53,6 +59,7 @@ from repro.runtime.fingerprint import (
     trace_fingerprint,
     trace_payload,
 )
+from repro.runtime.interrupt import sigterm_as_keyboard_interrupt
 from repro.runtime.options import RuntimeOptions, engine_for, ensure_runtime
 from repro.runtime.shard import (
     ManifestEntry,
@@ -76,6 +83,7 @@ __all__ = [
     "EVAL_SCHEMA_TAG",
     "SCHEMA_TAG",
     "TRACE_SCHEMA_TAG",
+    "AsyncStudyRunner",
     "CharacterizationCache",
     "EvaluationCache",
     "JsonObjectCache",
@@ -89,6 +97,7 @@ __all__ = [
     "ShardPlan",
     "SweepPoint",
     "SweepTelemetry",
+    "TelemetryBridge",
     "assign_fingerprint",
     "canonical_json",
     "characterize_points",
@@ -108,6 +117,7 @@ __all__ = [
     "point_shard_section",
     "schema_tags",
     "shard_assignments",
+    "sigterm_as_keyboard_interrupt",
     "study_fingerprint",
     "sweep_points",
     "trace_fingerprint",

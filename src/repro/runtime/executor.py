@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import copy
 import math
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
@@ -187,13 +188,17 @@ def _characterize_chunk(chunk):
 
     Framework errors are returned as failure records so one infeasible
     point cannot kill the pool; programming errors still propagate.
+    Every record carries the point's wall-clock duration, measured in the
+    worker so pool dispatch latency is excluded.
     """
     out = []
     for index, point in chunk:
+        start = time.perf_counter()
         try:
-            out.append((index, True, point.characterize()))
+            result = point.characterize()
+            out.append((index, True, result, time.perf_counter() - start))
         except ReproError as exc:
-            out.append((index, False, str(exc)))
+            out.append((index, False, str(exc), time.perf_counter() - start))
     return out
 
 
@@ -268,7 +273,9 @@ def characterize_points(
             continue
         pending_by_fp[fp] = [index]
 
-    def _record_success(first_index: int, array: ArrayCharacterization) -> None:
+    def _record_success(
+        first_index: int, array: ArrayCharacterization, duration_s: float = 0.0
+    ) -> None:
         fp = fingerprints[first_index]
         memory[fp] = array
         if cache is not None:
@@ -279,14 +286,18 @@ def characterize_points(
             telemetry.emit(ProgressEvent(
                 kind, points[index].label, index, total,
                 source="" if nth == 0 else "memory",
-                fingerprint=_event_fp(fp)))
+                fingerprint=_event_fp(fp),
+                duration_s=duration_s if nth == 0 else 0.0))
 
-    def _record_failure(first_index: int, message: str) -> None:
+    def _record_failure(
+        first_index: int, message: str, duration_s: float = 0.0
+    ) -> None:
         fp = fingerprints[first_index]
-        for index in pending_by_fp[fp]:
+        for nth, index in enumerate(pending_by_fp[fp]):
             telemetry.emit(ProgressEvent(
                 FAILED, points[index].label, index, total, error=message,
-                fingerprint=_event_fp(fp)))
+                fingerprint=_event_fp(fp),
+                duration_s=duration_s if nth == 0 else 0.0))
         if on_error == "raise":
             raise CharacterizationError(
                 f"{points[first_index].label}: {message}")
@@ -296,10 +307,12 @@ def characterize_points(
 
     if workers <= 1 or len(pending) <= 1:
         for index, point in pending:
+            start = time.perf_counter()
             try:
-                _record_success(index, point.characterize())
+                array = point.characterize()
+                _record_success(index, array, time.perf_counter() - start)
             except ReproError as exc:
-                _record_failure(index, str(exc))
+                _record_failure(index, str(exc), time.perf_counter() - start)
         return results
 
     chunksize = chunksize or _default_chunksize(len(pending), workers)
@@ -308,11 +321,11 @@ def characterize_points(
         futures = [pool.submit(_characterize_chunk, chunk) for chunk in chunks]
         try:
             for future in as_completed(futures):
-                for index, ok, payload in future.result():
+                for index, ok, payload, duration_s in future.result():
                     if ok:
-                        _record_success(index, payload)
+                        _record_success(index, payload, duration_s)
                     else:
-                        _record_failure(index, payload)
+                        _record_failure(index, payload, duration_s)
         except BaseException:
             for future in futures:
                 future.cancel()
@@ -329,9 +342,18 @@ def rows_fn_id(rows_fn) -> str:
 
 
 def _evaluate_chunk(payload):
-    """Pool worker: evaluate one chunk of indexed (array x traffic) blocks."""
+    """Pool worker: evaluate one chunk of indexed (array x traffic) blocks.
+
+    Each record carries its block's wall-clock duration, measured in the
+    worker so pool dispatch latency is excluded.
+    """
     rows_fn, traffic, extra, chunk = payload
-    return [(index, rows_fn(array, traffic, extra)) for index, array in chunk]
+    out = []
+    for index, array in chunk:
+        start = time.perf_counter()
+        rows = rows_fn(array, traffic, extra)
+        out.append((index, rows, time.perf_counter() - start))
+    return out
 
 
 def evaluate_blocks(
@@ -384,11 +406,15 @@ def evaluate_blocks(
     total = len(arrays)
     results: List[Optional[List[dict]]] = [None] * total
 
-    def _emit(kind: str, index: int, source: str = "", fp: str = "") -> None:
+    def _emit(
+        kind: str, index: int, source: str = "", fp: str = "",
+        duration_s: float = 0.0,
+    ) -> None:
         telemetry.emit(ProgressEvent(
             kind, arrays[index].label, index, total,
             phase="evaluate", source=source,
             fingerprint=fp if selector is not None else "",
+            duration_s=duration_s,
         ))
 
     context = evaluation_context(traffic, rows_fn_id=fn_id, extra=extra)
@@ -415,7 +441,7 @@ def evaluate_blocks(
             continue
         pending_by_fp[fp] = [index]
 
-    def _record(first_index: int, rows: List[dict]) -> None:
+    def _record(first_index: int, rows: List[dict], duration_s: float = 0.0) -> None:
         fp = fingerprints[first_index]
         memory[fp] = rows
         if cache is not None:
@@ -423,14 +449,17 @@ def evaluate_blocks(
         for nth, index in enumerate(pending_by_fp[fp]):
             results[index] = rows
             _emit(COMPLETED if nth == 0 else CACHED, index,
-                  source="" if nth == 0 else "memory", fp=fp)
+                  source="" if nth == 0 else "memory", fp=fp,
+                  duration_s=duration_s if nth == 0 else 0.0)
 
     pending = [(indices[0], arrays[indices[0]])
                for indices in pending_by_fp.values()]
 
     if workers <= 1 or len(pending) <= 1:
         for index, array in pending:
-            _record(index, rows_fn(array, traffic, extra))
+            start = time.perf_counter()
+            rows = rows_fn(array, traffic, extra)
+            _record(index, rows, time.perf_counter() - start)
     else:
         chunksize = chunksize or _default_chunksize(len(pending), workers)
         chunks = _chunked(pending, chunksize)
@@ -441,8 +470,8 @@ def evaluate_blocks(
             ]
             try:
                 for future in as_completed(futures):
-                    for index, rows in future.result():
-                        _record(index, rows)
+                    for index, rows, duration_s in future.result():
+                        _record(index, rows, duration_s)
             except BaseException:
                 for future in futures:
                     future.cancel()

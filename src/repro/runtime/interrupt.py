@@ -1,0 +1,48 @@
+"""Deliver SIGTERM as :class:`KeyboardInterrupt` for clean drains.
+
+Batch drivers and the serving layer share one shutdown idiom: stop
+starting new work, persist what already finished (partial manifests,
+flushed caches), and exit quietly.  ``Ctrl-C`` already arrives as
+``KeyboardInterrupt``; orchestrators (CI runners, systemd, Kubernetes)
+send ``SIGTERM`` instead, which by default kills the process without
+unwinding ``finally`` blocks.  :func:`sigterm_as_keyboard_interrupt`
+funnels both through the same ``except KeyboardInterrupt`` drain path.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from typing import Iterator
+
+
+@contextlib.contextmanager
+def sigterm_as_keyboard_interrupt() -> Iterator[bool]:
+    """Within the block, SIGTERM raises ``KeyboardInterrupt``.
+
+    Yields ``True`` when the handler was installed, ``False`` when it
+    could not be (not the main thread, or the platform lacks SIGTERM) —
+    the block still runs either way, it just keeps default signal
+    behavior.  The previous handler is always restored on exit.
+    """
+    if (
+        threading.current_thread() is not threading.main_thread()
+        or not hasattr(signal, "SIGTERM")
+    ):
+        yield False
+        return
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt("SIGTERM")
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise)
+    except (ValueError, OSError):
+        # Embedded interpreters can refuse signal installation.
+        yield False
+        return
+    try:
+        yield True
+    finally:
+        signal.signal(signal.SIGTERM, previous)

@@ -336,7 +336,12 @@ class ManifestEntry:
             "elapsed_s": float(self.elapsed_s),
             "error": self.error,
             "artifacts": dict(self.artifacts),
-            "telemetry": {k: int(v) for k, v in self.telemetry.items()},
+            # Counts stay integers; the *_wall_s accumulators are
+            # fractional seconds and must survive the round trip.
+            "telemetry": {
+                k: (float(v) if str(k).endswith("_wall_s") else int(v))
+                for k, v in self.telemetry.items()
+            },
             "point_shard": dict(self.point_shard),
         }
 

@@ -5,12 +5,21 @@ served from cache, or failed — instead of dying on the first
 :class:`~repro.errors.CharacterizationError`.  The executor emits one
 :class:`ProgressEvent` per point; :class:`SweepTelemetry` counts them,
 logs them on the ``repro.runtime`` logger, and forwards them to an
-optional user callback (a progress bar, a dashboard, a CI annotator).
+optional user callback (a progress bar, a dashboard, a CI annotator)
+plus any number of attached observers (:meth:`SweepTelemetry.add_observer`
+— e.g. the serving layer's SSE bridge).
+
+Counter mutation is guarded by a single lock, so one telemetry value may
+be shared by concurrent observers (several threads absorbing worker
+results, or a service thread reading counters while a study runs).
+Callbacks and observers are invoked *outside* the lock — they may take
+their time (or re-enter the telemetry) without stalling emitters.
 """
 
 from __future__ import annotations
 
 import logging
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -37,6 +46,7 @@ class ProgressEvent:
     source: str = ""  # for CACHED: "memory" | "disk"
     error: str = ""  # for FAILED: the error message
     fingerprint: str = ""  # content fingerprint, set under point sharding
+    duration_s: float = 0.0  # wall-clock spent computing this point fresh
 
     def describe(self) -> str:
         extra = ""
@@ -46,13 +56,42 @@ class ProgressEvent:
             extra = f": {self.error}"
         elif self.kind == SKIPPED:
             extra = " [other shard]"
+        if self.duration_s > 0:
+            extra += f" ({self.duration_s:.3f}s)"
         return (
             f"{self.phase} {self.index + 1}/{self.total} "
             f"{self.kind} {self.label}{extra}"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-able rendering (the service's SSE payload)."""
+        return {
+            "kind": self.kind,
+            "label": self.label,
+            "index": self.index,
+            "total": self.total,
+            "phase": self.phase,
+            "source": self.source,
+            "error": self.error,
+            "fingerprint": self.fingerprint,
+            "duration_s": self.duration_s,
+        }
+
 
 ProgressCallback = Callable[[ProgressEvent], None]
+
+#: Wall-clock accumulator field per event phase (manifest counter names).
+_WALL_FIELDS = {
+    "characterize": "characterize_wall_s",
+    "evaluate": "evaluate_wall_s",
+    "trace": "trace_wall_s",
+}
+
+#: Integer counter fields, in counters() order.
+_COUNTER_FIELDS = (
+    "completed", "cached", "failed", "skipped", "evaluated",
+    "eval_cached", "eval_skipped", "trace_simulated", "trace_cached",
+)
 
 
 @dataclass
@@ -69,6 +108,12 @@ class SweepTelemetry:
     eval_skipped: int = 0  # evaluate-phase blocks owned by another point shard
     trace_simulated: int = 0  # trace-phase LLC regenerations run fresh
     trace_cached: int = 0  # trace-phase regenerations served from a cache
+    #: Wall-clock spent computing fresh (or failing) points, per phase —
+    #: the raw data behind cost-balanced shard planning and the service's
+    #: per-request latency accounting.
+    characterize_wall_s: float = 0.0
+    evaluate_wall_s: float = 0.0
+    trace_wall_s: float = 0.0
     failures: List[ProgressEvent] = field(default_factory=list)
     #: Point-shard accounting, keyed by content fingerprint.  Populated
     #: only when a sweep runs under a point-shard selector: every sweep
@@ -79,44 +124,77 @@ class SweepTelemetry:
     planned_points: set = field(default_factory=set)
     selected_points: set = field(default_factory=set)
     completed_points: set = field(default_factory=set)
+    #: Extra event sinks beyond ``callback`` (see :meth:`add_observer`).
+    observers: List[ProgressCallback] = field(
+        default_factory=list, repr=False, compare=False
+    )
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add_observer(self, observer: ProgressCallback) -> None:
+        """Attach an additional per-event sink (e.g. an SSE bridge).
+
+        Observers receive every event after the counters update, outside
+        the telemetry lock, in attachment order after ``callback``.
+        """
+        with self._lock:
+            self.observers.append(observer)
+
+    def remove_observer(self, observer: ProgressCallback) -> None:
+        """Detach an observer added by :meth:`add_observer` (idempotent)."""
+        with self._lock:
+            if observer in self.observers:
+                self.observers.remove(observer)
 
     def emit(self, event: ProgressEvent) -> None:
+        with self._lock:
+            self._count(event)
+            sinks = list(self.observers)
+        if event.kind == FAILED:
+            logger.warning("%s", event.describe())
+        else:
+            logger.debug("%s", event.describe())
+        if self.callback is not None:
+            self.callback(event)
+        for sink in sinks:
+            sink(event)
+
+    def _count(self, event: ProgressEvent) -> None:
+        """Update counters for one event.  Caller holds the lock."""
         if event.kind == SKIPPED:
             if event.phase == "evaluate":
                 self.eval_skipped += 1
             else:
                 self.skipped += 1
-            logger.debug("%s", event.describe())
         elif event.kind == COMPLETED and event.phase == "evaluate":
             self.evaluated += 1
-            logger.debug("%s", event.describe())
         elif event.kind == CACHED and event.phase == "evaluate":
             self.eval_cached += 1
-            logger.debug("%s", event.describe())
         elif event.kind == COMPLETED and event.phase == "trace":
             self.trace_simulated += 1
-            logger.debug("%s", event.describe())
         elif event.kind == CACHED and event.phase == "trace":
             self.trace_cached += 1
-            logger.debug("%s", event.describe())
         elif event.kind == COMPLETED:
             self.completed += 1
-            logger.debug("%s", event.describe())
         elif event.kind == CACHED:
             self.cached += 1
-            logger.debug("%s", event.describe())
         elif event.kind == FAILED:
             self.failed += 1
             self.failures.append(event)
-            logger.warning("%s", event.describe())
+        if event.duration_s:
+            wall_field = _WALL_FIELDS.get(event.phase)
+            if wall_field is not None:
+                setattr(
+                    self, wall_field,
+                    getattr(self, wall_field) + float(event.duration_s),
+                )
         if event.fingerprint and event.phase == "characterize":
             self.planned_points.add(event.fingerprint)
             if event.kind != SKIPPED:
                 self.selected_points.add(event.fingerprint)
             if event.kind in (COMPLETED, CACHED):
                 self.completed_points.add(event.fingerprint)
-        if self.callback is not None:
-            self.callback(event)
 
     @property
     def total(self) -> int:
@@ -128,19 +206,22 @@ class SweepTelemetry:
         actually computed (as opposed to served from a cache)."""
         return self.completed + self.evaluated + self.trace_simulated
 
+    @property
+    def wall_s(self) -> float:
+        """Total wall-clock spent on fresh model work, across phases."""
+        return self.characterize_wall_s + self.evaluate_wall_s + self.trace_wall_s
+
     def counters(self) -> dict:
-        """The counter fields as a JSON-able dict (manifest payload)."""
-        return {
-            "completed": self.completed,
-            "cached": self.cached,
-            "failed": self.failed,
-            "skipped": self.skipped,
-            "evaluated": self.evaluated,
-            "eval_cached": self.eval_cached,
-            "eval_skipped": self.eval_skipped,
-            "trace_simulated": self.trace_simulated,
-            "trace_cached": self.trace_cached,
-        }
+        """The counter fields as a JSON-able dict (manifest payload).
+
+        Integer event counts plus the per-phase wall-clock accumulators
+        (floats, ``*_wall_s``).
+        """
+        with self._lock:
+            out: dict = {name: getattr(self, name) for name in _COUNTER_FIELDS}
+            for wall_field in _WALL_FIELDS.values():
+                out[wall_field] = round(getattr(self, wall_field), 6)
+            return out
 
     @classmethod
     def from_counters(cls, counters) -> "SweepTelemetry":
@@ -150,28 +231,30 @@ class SweepTelemetry:
         manifests from slightly older/newer versions still aggregate.
         """
         telemetry = cls()
-        for name in (
-            "completed", "cached", "failed", "skipped", "evaluated",
-            "eval_cached", "eval_skipped", "trace_simulated", "trace_cached",
-        ):
+        for name in _COUNTER_FIELDS:
             setattr(telemetry, name, int(counters.get(name, 0)))
+        for wall_field in _WALL_FIELDS.values():
+            setattr(telemetry, wall_field, float(counters.get(wall_field, 0.0)))
         return telemetry
 
     def absorb(self, other: "SweepTelemetry") -> None:
-        """Fold another run's counters into this aggregate."""
-        self.completed += other.completed
-        self.cached += other.cached
-        self.failed += other.failed
-        self.skipped += other.skipped
-        self.evaluated += other.evaluated
-        self.eval_cached += other.eval_cached
-        self.eval_skipped += other.eval_skipped
-        self.trace_simulated += other.trace_simulated
-        self.trace_cached += other.trace_cached
-        self.failures.extend(other.failures)
-        self.planned_points |= other.planned_points
-        self.selected_points |= other.selected_points
-        self.completed_points |= other.completed_points
+        """Fold another run's counters into this aggregate.
+
+        ``other`` should be quiescent (its run finished); this aggregate
+        may be shared — its own mutation is locked.
+        """
+        with self._lock:
+            for name in _COUNTER_FIELDS:
+                setattr(self, name, getattr(self, name) + getattr(other, name))
+            for wall_field in _WALL_FIELDS.values():
+                setattr(
+                    self, wall_field,
+                    getattr(self, wall_field) + getattr(other, wall_field),
+                )
+            self.failures.extend(other.failures)
+            self.planned_points |= other.planned_points
+            self.selected_points |= other.selected_points
+            self.completed_points |= other.completed_points
 
     def summary(self) -> str:
         text = (
@@ -190,4 +273,6 @@ class SweepTelemetry:
                 f"; {self.trace_simulated} traces simulated, "
                 f"{self.trace_cached} served from cache"
             )
+        if self.wall_s > 0:
+            text += f"; {self.wall_s:.2f}s model wall-clock"
         return text

@@ -1,0 +1,208 @@
+"""A dependency-free asyncio client for the DSE service.
+
+Speaks the service's one-request-per-connection HTTP dialect over
+``asyncio.open_connection`` — no HTTP client library required — which
+makes it usable from the test suite, the shipped example script, and any
+asyncio application.  The raw-bytes accessor (:meth:`result_bytes`)
+exists specifically so callers can assert the service's byte-identity
+guarantee for warm results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator, Mapping, Optional, Tuple
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str, payload: Any = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Talks to one service instance at ``host:port``."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = int(port)
+
+    # -- transport ---------------------------------------------------------
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> Tuple[int, dict, bytes]:
+        """One round trip; returns ``(status, headers, body_bytes)``."""
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            "Connection: close",
+        ]
+        if body:
+            lines.append("Content-Type: application/json")
+        lines.append(f"Content-Length: {len(body)}")
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(head + body)
+            await writer.drain()
+            status, response_headers = await _read_head(reader)
+            raw = await reader.read()
+            return status, response_headers, raw
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def request_json(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> Any:
+        status, _, body = await self.request(method, path, payload, headers)
+        decoded = json.loads(body.decode("utf-8")) if body else {}
+        if status >= 400:
+            message = (
+                decoded.get("error", "") if isinstance(decoded, dict) else ""
+            )
+            raise ServiceError(status, message or f"request failed ({status})",
+                               payload=decoded)
+        return decoded
+
+    # -- API surface -------------------------------------------------------
+
+    async def health(self) -> dict:
+        return await self.request_json("GET", "/healthz")
+
+    async def studies(self) -> list:
+        return (await self.request_json("GET", "/v1/studies"))["studies"]
+
+    async def submit(
+        self,
+        payload: Mapping[str, Any],
+        client_id: Optional[str] = None,
+    ) -> dict:
+        """Submit a study/sweep request; returns ``{"job": ..., "submission": ...}``."""
+        headers = {"X-Client-Id": client_id} if client_id else None
+        return await self.request_json("POST", "/v1/submit", payload, headers)
+
+    async def status(self, job_id: str) -> dict:
+        return await self.request_json("GET", f"/v1/jobs/{job_id}")
+
+    async def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_s: float = 0.05,
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns its status."""
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        while True:
+            status = await self.status(job_id)
+            if status["state"] in ("done", "failed"):
+                return status
+            if deadline is not None and loop.time() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout}s"
+                )
+            await asyncio.sleep(poll_s)
+
+    async def result_bytes(self, job_id: str) -> bytes:
+        """The raw result body — the byte-identity assertion surface."""
+        status, _, body = await self.request("GET", f"/v1/jobs/{job_id}/result")
+        if status != 200:
+            decoded = json.loads(body.decode("utf-8")) if body else {}
+            raise ServiceError(
+                status, decoded.get("error", f"result unavailable ({status})"),
+                payload=decoded,
+            )
+        return body
+
+    async def result(self, job_id: str) -> dict:
+        return json.loads((await self.result_bytes(job_id)).decode("utf-8"))
+
+    async def events(self, job_id: str) -> AsyncIterator[dict]:
+        """Stream the job's server-sent events.
+
+        Yields ``{"event": "progress"|"done", "data": {...}}`` frames;
+        returns after the terminal ``done`` frame.
+        """
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(
+                (
+                    f"GET /v1/jobs/{job_id}/events HTTP/1.1\r\n"
+                    f"Host: {self.host}:{self.port}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+            )
+            await writer.drain()
+            status, _ = await _read_head(reader)
+            if status != 200:
+                body = await reader.read()
+                decoded = json.loads(body.decode("utf-8")) if body else {}
+                raise ServiceError(
+                    status, decoded.get("error", f"stream refused ({status})"),
+                    payload=decoded,
+                )
+            event_name = "message"
+            async for line in _iter_lines(reader):
+                if line.startswith("event:"):
+                    event_name = line.split(":", 1)[1].strip()
+                elif line.startswith("data:"):
+                    data = json.loads(line.split(":", 1)[1].strip())
+                    yield {"event": event_name, "data": data}
+                    if event_name == "done":
+                        return
+                    event_name = "message"
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def stats(self) -> dict:
+        return await self.request_json("GET", "/v1/stats")
+
+    async def shutdown_server(self) -> dict:
+        return await self.request_json("POST", "/v1/shutdown")
+
+
+async def _read_head(reader) -> Tuple[int, dict]:
+    """Parse a response's status line and headers."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    status = int(parts[1])
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if ":" in line:
+            name, value = line.split(":", 1)
+            headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+async def _iter_lines(reader) -> AsyncIterator[str]:
+    while True:
+        raw = await reader.readline()
+        if not raw:
+            return
+        yield raw.decode("utf-8").rstrip("\r\n")

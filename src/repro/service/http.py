@@ -1,0 +1,215 @@
+"""Minimal stdlib HTTP/1.1 layer for the serving front-end.
+
+The service's transport needs are deliberately small — JSON request in,
+JSON response out, plus one streaming response shape (server-sent
+events) — so instead of adding an HTTP framework dependency this module
+implements exactly that subset over ``asyncio`` streams:
+
+* :func:`read_request` parses one request (request line, headers, body
+  sized by ``Content-Length``) with hard limits on header and body size.
+* :func:`json_response` renders a complete JSON response; rendering is
+  deterministic (sorted keys, fixed separators) so byte-identical
+  payloads produce byte-identical responses — the property the warm-hit
+  acceptance test asserts.
+* :func:`sse_headers` / :func:`sse_event` implement the
+  ``text/event-stream`` wire format for per-point progress streaming.
+
+Every connection serves exactly one request (``Connection: close``);
+clients that want another request open another connection.  That keeps
+parsing, draining, and shutdown trivially correct at the cost of a TCP
+handshake per call — the right trade for a lab-scale DSE service.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+from urllib.parse import parse_qs, unquote, urlsplit
+
+#: Upper bounds on what one request may carry.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """An error that maps directly onto an HTTP error response."""
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = str(message)
+        self.retry_after = retry_after
+
+    def headers(self) -> dict:
+        if self.retry_after is None:
+            return {}
+        # Retry-After is integer seconds; always at least 1 so clients
+        # actually back off.
+        return {"Retry-After": str(max(1, int(self.retry_after + 0.999)))}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str  # decoded path, query string stripped
+    query: Mapping[str, str] = field(default_factory=dict)
+    headers: Mapping[str, str] = field(default_factory=dict)  # lower-cased keys
+    body: bytes = b""
+    peer: str = ""
+
+    def json(self) -> Any:
+        """The body decoded as JSON (``{}`` when empty)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body ({exc})") from None
+
+
+async def read_request(reader) -> Optional[HttpRequest]:
+    """Parse one HTTP request off ``reader``.
+
+    Returns ``None`` when the peer closed the connection without sending
+    anything; raises :class:`HttpError` on malformed or oversized input.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except EOFError:
+        return None
+    except Exception as exc:  # IncompleteReadError, LimitOverrunError
+        if isinstance(exc, (ConnectionError, TimeoutError)):
+            return None
+        data = getattr(exc, "partial", b"")
+        if not data:
+            return None
+        raise HttpError(400, "malformed request head") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    query = {
+        key: values[-1]
+        for key, values in parse_qs(split.query, keep_blank_values=True).items()
+    }
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise HttpError(400, f"malformed header line {line!r}")
+        name, value = line.split(":", 1)
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "malformed Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length)
+
+    return HttpRequest(
+        method=method,
+        path=unquote(split.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def render_json(payload: Any) -> bytes:
+    """Deterministic JSON bytes: sorted keys, fixed separators.
+
+    The result endpoint's byte-identity guarantee rests on this — the
+    same payload always renders to the same bytes, across processes and
+    server restarts.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def response_bytes(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """A complete HTTP response (headers + body) as bytes."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body
+
+
+def json_response(
+    status: int,
+    payload: Any,
+    extra_headers: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """A complete JSON response as bytes."""
+    return response_bytes(status, render_json(payload), extra_headers=extra_headers)
+
+
+def error_response(error: HttpError) -> bytes:
+    return json_response(
+        error.status,
+        {"error": error.message, "status": error.status},
+        extra_headers=error.headers(),
+    )
+
+
+def sse_headers() -> bytes:
+    """Response head opening a server-sent-events stream."""
+    return (
+        b"HTTP/1.1 200 OK\r\n"
+        b"Content-Type: text/event-stream\r\n"
+        b"Cache-Control: no-store\r\n"
+        b"Connection: close\r\n\r\n"
+    )
+
+
+def sse_event(data: Any, event: Optional[str] = None) -> bytes:
+    """One server-sent event frame (``data`` JSON-encoded)."""
+    frame = b""
+    if event:
+        frame += b"event: " + event.encode("utf-8") + b"\n"
+    frame += b"data: " + render_json(data) + b"\n\n"
+    return frame

@@ -1,0 +1,105 @@
+"""Per-client token-bucket rate limiting for the submit endpoint.
+
+A characterization sweep is orders of magnitude more expensive than the
+HTTP request that triggers it, so the service bounds how fast any one
+client can *submit* (reads are uncapped).  Classic token bucket: each
+client's bucket holds up to ``burst`` tokens, refills at ``rps`` tokens
+per second, and a submission spends one token.  An empty bucket means
+HTTP 429 plus a ``Retry-After`` hint of when the next token lands.
+
+Buckets are keyed by client identity — the ``X-Client-Id`` header when
+the client sends one, the peer address otherwise — and live purely in
+memory: a service restart forgives everyone, which is the behavior a
+lab-scale service wants.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple
+
+
+class TokenBucket:
+    """One client's bucket: ``capacity`` tokens refilled at ``fill_rate``/s."""
+
+    def __init__(
+        self,
+        capacity: float,
+        fill_rate: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        if fill_rate <= 0:
+            raise ValueError(f"fill_rate must be > 0, got {fill_rate!r}")
+        self.capacity = float(capacity)
+        self.fill_rate = float(fill_rate)
+        self._clock = clock
+        self._tokens = self.capacity
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.capacity, self._tokens + elapsed * self.fill_rate)
+
+    def take(self, tokens: float = 1.0) -> Tuple[bool, float]:
+        """Try to spend ``tokens``.
+
+        Returns ``(True, 0.0)`` on success, else ``(False, wait_s)``
+        where ``wait_s`` is how long until the deficit refills.
+        """
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True, 0.0
+        return False, (tokens - self._tokens) / self.fill_rate
+
+
+class RateLimiter:
+    """Token buckets keyed by client id.  ``rps <= 0`` disables limiting."""
+
+    def __init__(
+        self,
+        rps: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rps = float(rps)
+        self.burst = max(1, int(burst))
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self.allowed_total = 0
+        self.rejected_total = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rps > 0
+
+    def check(self, client_id: Optional[str]) -> Tuple[bool, float]:
+        """May ``client_id`` submit now?  Returns ``(allowed, retry_after_s)``."""
+        if not self.enabled:
+            self.allowed_total += 1
+            return True, 0.0
+        key = client_id or "anonymous"
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = TokenBucket(self.burst, self.rps, clock=self._clock)
+            self._buckets[key] = bucket
+        allowed, retry_after = bucket.take()
+        if allowed:
+            self.allowed_total += 1
+        else:
+            self.rejected_total += 1
+        return allowed, retry_after
+
+    def stats(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "rps": self.rps,
+            "burst": self.burst,
+            "clients": len(self._buckets),
+            "allowed": self.allowed_total,
+            "rejected": self.rejected_total,
+        }

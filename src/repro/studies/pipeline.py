@@ -18,8 +18,9 @@ stubs under ``config/studies/``.
 
 from __future__ import annotations
 
+import inspect
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping, Optional
 
 from repro.errors import ReproError
@@ -252,6 +253,92 @@ def get_study(name: str) -> StudySpec:
     except KeyError:
         known = ", ".join(REGISTRY)
         raise ReproError(f"unknown study {name!r} (known: {known})") from None
+
+
+@dataclass(frozen=True)
+class StudyRequest:
+    """One resolved query against the registry: spec + effective inputs.
+
+    The unit the serving layer works in: a request carries everything
+    that determines a study's artifacts (spec, parameter overrides, seed
+    override), so :meth:`fingerprint` is a stable content key — two
+    clients asking for the same study with the same inputs hash
+    identically and can share one computation and one cached answer.
+    """
+
+    spec: StudySpec
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def fingerprint(self) -> str:
+        """Content key covering params, seed, cache schema tags, and the
+        source revision (:func:`~repro.runtime.shard.study_fingerprint`)."""
+        # Imported lazily: shard builds on the runtime package only, but
+        # keeping pipeline import-light preserves the existing layering.
+        from repro.runtime.shard import study_fingerprint
+
+        return study_fingerprint(self.spec, overrides=self.params, seed=self.seed)
+
+    def run(self, runtime: Optional[RuntimeOptions] = None) -> StudyOutcome:
+        """Run the request under ``runtime`` (its seed beats the runtime's)."""
+        runtime = ensure_runtime(runtime)
+        if self.seed is not None:
+            runtime = replace(runtime, seed=int(self.seed))
+        return self.spec.run(runtime, **self.params)
+
+
+#: Keys a study-request payload may carry.
+_REQUEST_KEYS = frozenset({"study", "params", "seed"})
+
+
+def resolve_study_request(payload: Mapping[str, Any]) -> StudyRequest:
+    """Validate a client's study-request payload into a :class:`StudyRequest`.
+
+    The payload is the service's submit body (already JSON-decoded)::
+
+        {"study": "fig09_spec_llc", "params": {...}, "seed": 7}
+
+    Raises :class:`~repro.errors.ReproError` on an unknown study, unknown
+    payload keys, parameters the study's builder does not accept, or a
+    ``runtime`` parameter (execution options belong to the server, not
+    the request).
+    """
+    if not isinstance(payload, Mapping):
+        raise ReproError("study request must be an object")
+    unknown = sorted(set(payload) - _REQUEST_KEYS)
+    if unknown:
+        raise ReproError(
+            f"unknown request keys: {', '.join(unknown)} "
+            f"(allowed: {', '.join(sorted(_REQUEST_KEYS))})"
+        )
+    if "study" not in payload:
+        raise ReproError("study request needs a 'study' key")
+    spec = get_study(str(payload["study"]))
+    params = payload.get("params") or {}
+    if not isinstance(params, Mapping):
+        raise ReproError(f"study {spec.name!r}: params must be an object")
+    if "runtime" in params:
+        raise ReproError(
+            f"study {spec.name!r}: 'runtime' is not a study parameter "
+            "(execution options are configured server-side)"
+        )
+    try:
+        inspect.signature(spec.builder).bind_partial(**params)
+    except TypeError as exc:
+        raise ReproError(f"study {spec.name!r}: bad params ({exc})") from None
+    seed = payload.get("seed")
+    if seed is not None:
+        try:
+            seed = int(seed)
+        except (TypeError, ValueError):
+            raise ReproError(
+                f"study {spec.name!r}: seed must be an integer, got {seed!r}"
+            ) from None
+    return StudyRequest(spec=spec, params=dict(params), seed=seed)
 
 
 def run_study(

@@ -41,9 +41,13 @@ Four suite-scale features build on :mod:`repro.runtime.shard`:
   a ``cached`` status instead of re-run; ``--force`` disables the skip.
 
 Exit codes: ``0`` success, ``1`` study failures (or a violated
-``--expect-warm``), ``2`` usage/config/merge errors, and ``3`` for a
+``--expect-warm``), ``2`` usage/config/merge errors, ``3`` for a
 fully-incremental run (every study skipped as up to date) so CI logs
-can tell a no-op invocation from one that recomputed artifacts.
+can tell a no-op invocation from one that recomputed artifacts, and
+``130`` for an interrupted run (Ctrl-C or SIGTERM): the studies
+completed before the interrupt are recorded in a partial manifest —
+their artifacts and incremental state survive — and the rest resume on
+the next invocation.
 """
 
 from __future__ import annotations
@@ -56,6 +60,7 @@ from typing import Optional, Sequence, Union
 
 from repro.errors import ReproError
 from repro.results.table import ResultTable
+from repro.runtime.interrupt import sigterm_as_keyboard_interrupt
 from repro.runtime.options import RuntimeOptions, ensure_runtime
 from repro.runtime.shard import (
     STATUS_CACHED,
@@ -84,6 +89,7 @@ EXIT_OK = 0
 EXIT_FAILED = 1
 EXIT_USAGE = 2
 EXIT_ALL_INCREMENTAL = 3
+EXIT_INTERRUPTED = 130  # the shell convention for SIGINT-style exits
 
 
 @dataclass
@@ -93,6 +99,9 @@ class SummaryRun:
     outcomes: list[StudyOutcome] = field(default_factory=list)
     plan: Optional[ShardPlan] = None
     manifest: Optional[RunManifest] = None
+    #: Ctrl-C / SIGTERM arrived mid-run; ``manifest`` holds only the
+    #: studies that finished first (their incremental state is kept).
+    interrupted: bool = False
 
     @property
     def tables(self) -> dict[str, ResultTable]:
@@ -216,7 +225,6 @@ def run_all(
     verifies and re-materializes from.
     """
     runtime = ensure_runtime(runtime)
-    point_shard = runtime.point_shard
     registry = _select(only, STUDIES)
     plan = plan_shard(list(registry), shard_index, shard_count)
     out = Path(output_dir)
@@ -230,6 +238,52 @@ def run_all(
     reusable = previous if incremental else None
     run = SummaryRun(plan=plan)
     entries: list[ManifestEntry] = []
+    try:
+        _run_selected(run, entries, plan, registry, runtime, reusable, out)
+    except KeyboardInterrupt:
+        # Clean drain: keep everything that finished.  The partial
+        # manifest written below records those studies (plus retained
+        # prior entries), so artifacts and incremental state survive and
+        # the next invocation resumes where this one stopped.
+        run.interrupted = True
+    # Prior entries are retained for every study this run did NOT
+    # (re)record — including selected studies an interrupt skipped.
+    recorded = {entry.name for entry in entries}
+    retained = tuple(
+        entry
+        for entry in (*previous.entries, *previous.retained)
+        if entry.name not in recorded
+    ) if previous is not None else ()
+    run.manifest = RunManifest(
+        shard_index=shard_index,
+        shard_count=shard_count,
+        suite=plan.suite,
+        entries=tuple(entries),
+        tags=schema_tags(),
+        retained=retained,
+        point_shard_index=runtime.point_shard_index,
+        point_shard_count=runtime.point_shard_count,
+    )
+    run.manifest.write(out)
+    return run
+
+
+def _run_selected(
+    run: SummaryRun,
+    entries: list,
+    plan: ShardPlan,
+    registry,
+    runtime: RuntimeOptions,
+    reusable: Optional[RunManifest],
+    out: Path,
+) -> None:
+    """Run (or incrementally skip) each selected study, appending results.
+
+    Mutates ``run.outcomes`` and ``entries`` in step so an interrupt
+    leaves them consistent: every appended entry describes a study whose
+    artifacts are fully on disk.
+    """
+    point_shard = runtime.point_shard
     for name in plan.selected:
         spec = registry[name]
         fingerprint = study_fingerprint(
@@ -277,24 +331,6 @@ def run_all(
         entries.append(entry)
         print(f"{name:26s} {outcome.rows:5d} rows  "
               f"{outcome.elapsed_s:6.2f}s  {status}")
-    selected = set(plan.selected)
-    retained = tuple(
-        entry
-        for entry in (*previous.entries, *previous.retained)
-        if entry.name not in selected
-    ) if previous is not None else ()
-    run.manifest = RunManifest(
-        shard_index=shard_index,
-        shard_count=shard_count,
-        suite=plan.suite,
-        entries=tuple(entries),
-        tags=schema_tags(),
-        retained=retained,
-        point_shard_index=runtime.point_shard_index,
-        point_shard_count=runtime.point_shard_count,
-    )
-    run.manifest.write(out)
-    return run
 
 
 def _verify_point_shard_fingerprints(
@@ -600,17 +636,36 @@ def main(argv: list[str] | None = None) -> int:
         )
     print(f"Regenerating studies into {args.output_dir}/{shard_note} ...")
     try:
-        run = run_all(
-            args.output_dir,
-            runtime=runtime,
-            only=only,
-            shard_index=args.shard_index,
-            shard_count=args.shard_count,
-            incremental=not args.force,
-        )
+        # SIGTERM (CI runners, systemd, Kubernetes) takes the same clean
+        # drain path as Ctrl-C: finish nothing new, write the partial
+        # manifest, exit 130.
+        with sigterm_as_keyboard_interrupt():
+            run = run_all(
+                args.output_dir,
+                runtime=runtime,
+                only=only,
+                shard_index=args.shard_index,
+                shard_count=args.shard_count,
+                incremental=not args.force,
+            )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    except KeyboardInterrupt:
+        # run_all drains interrupts that land inside the study loop; this
+        # catches the window outside it (setup, manifest write).
+        print("\ninterrupted before any study completed", file=sys.stderr)
+        return EXIT_INTERRUPTED
+
+    if run.interrupted:
+        done = len(run.outcomes)
+        print(
+            f"\ninterrupted: {done} studies completed before the interrupt; "
+            f"partial manifest written to {args.output_dir}/manifest.json "
+            "(re-run to resume)",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
 
     total_rows = sum(o.rows for o in run.outcomes)
     telemetry = run.telemetry

@@ -6,6 +6,7 @@ examples are excluded here and covered by the bench suite instead.
 """
 
 import runpy
+import sys
 from pathlib import Path
 
 import pytest
@@ -18,12 +19,16 @@ FAST_EXAMPLES = [
     "fault_injection_tool.py",
     "heterogeneous_hierarchy.py",
     "parallel_sweep.py",
+    "service_client.py",
     "study_pipeline.py",
 ]
 
 
 @pytest.mark.parametrize("name", FAST_EXAMPLES)
-def test_example_runs(name, capsys):
+def test_example_runs(name, capsys, monkeypatch):
+    # A clean argv, as `python examples/<name>` would see — examples
+    # that parse arguments must not inherit pytest's command line.
+    monkeypatch.setattr(sys, "argv", [str(EXAMPLES_DIR / name)])
     runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
     out = capsys.readouterr().out
     assert len(out) > 100  # produced a real report
@@ -41,5 +46,6 @@ def test_all_examples_present():
         "fault_injection_tool.py",
         "heterogeneous_hierarchy.py",
         "parallel_sweep.py",
+        "service_client.py",
         "study_pipeline.py",
     } <= names

@@ -280,6 +280,38 @@ class TestExecutor:
         with pytest.raises(ValueError):
             characterize_points([make_point(stt_optimistic)], on_error="ignore")
 
+    def test_fresh_points_record_wall_clock(self, stt_optimistic):
+        """Satellite: fresh computations carry per-point durations that
+        accumulate into the telemetry's wall-clock counters."""
+        telemetry = SweepTelemetry()
+        characterize_points(
+            [make_point(stt_optimistic)], telemetry=telemetry
+        )
+        assert telemetry.characterize_wall_s > 0
+        assert telemetry.wall_s == pytest.approx(telemetry.characterize_wall_s)
+        counters = telemetry.counters()
+        assert counters["characterize_wall_s"] > 0
+        rebuilt = SweepTelemetry.from_counters(counters)
+        assert rebuilt.characterize_wall_s == counters["characterize_wall_s"]
+
+    def test_cached_points_record_no_wall_clock(self, tmp_path, stt_optimistic):
+        cache = CharacterizationCache(tmp_path)
+        point = make_point(stt_optimistic)
+        characterize_points([point], cache=cache)
+        telemetry = SweepTelemetry()
+        characterize_points([point], cache=cache, telemetry=telemetry)
+        assert telemetry.cached == 1
+        assert telemetry.characterize_wall_s == 0.0
+
+    def test_duration_in_event_and_describe(self, stt_optimistic):
+        events = []
+        telemetry = SweepTelemetry(events.append)
+        characterize_points([make_point(stt_optimistic)], telemetry=telemetry)
+        (event,) = events
+        assert event.duration_s > 0
+        assert event.to_dict()["duration_s"] == event.duration_s
+        assert f"({event.duration_s:.3f}s)" in event.describe()
+
 
 def _traffic_pair():
     return (

@@ -1,0 +1,401 @@
+"""The DSE service: submit/status/result/SSE, coalescing, rate limits, warm hits.
+
+Every async test runs a *real* server (``asyncio.start_server`` on
+127.0.0.1, port 0) and talks to it over TCP with the dependency-free
+:class:`~repro.service.client.ServiceClient` — no HTTP library, no
+pytest-asyncio; each test wraps its coroutine in ``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.config.schema import ServiceConfig
+from repro.errors import ReproError
+from repro.runtime.options import RuntimeOptions
+from repro.service import (
+    JobManager,
+    ReproService,
+    ServiceClient,
+    ServiceError,
+    StudyQuery,
+    SweepQuery,
+    TokenBucket,
+    WarmKeeper,
+    resolve_request,
+)
+from repro.studies.pipeline import REGISTRY, StudyRequest, resolve_study_request
+
+FAST_STUDY = "fig05_dnn_arrays"
+
+
+def service_config(cache_dir, **overrides) -> ServiceConfig:
+    """A test-friendly config: ephemeral port, no rate limit by default."""
+    settings = {
+        "port": 0,
+        "workers": 2,
+        "rate_limit_rps": 0.0,
+        "runtime": RuntimeOptions(
+            workers=1, cache_dir=None if cache_dir is None else str(cache_dir),
+            on_error="skip",
+        ),
+    }
+    settings.update(overrides)
+    return ServiceConfig(**settings)
+
+
+async def _with_service(config, body):
+    """Start a service, run ``body(service, client)``, always drain."""
+    service = ReproService(config)
+    await service.start()
+    client = ServiceClient(service.host, service.port)
+    try:
+        return await body(service, client)
+    finally:
+        await service.shutdown()
+
+
+# -- request resolution ----------------------------------------------------
+
+
+def test_resolve_study_request_validates():
+    request = resolve_study_request({"study": FAST_STUDY, "seed": 3})
+    assert isinstance(request, StudyRequest)
+    assert request.name == FAST_STUDY
+    assert request.seed == 3
+    with pytest.raises(ReproError, match="unknown study"):
+        resolve_study_request({"study": "nope"})
+    with pytest.raises(ReproError, match="unknown request keys"):
+        resolve_study_request({"study": FAST_STUDY, "bogus": 1})
+    with pytest.raises(ReproError, match="bad params"):
+        resolve_study_request({"study": FAST_STUDY, "params": {"bogus": 1}})
+    with pytest.raises(ReproError, match="not a study parameter"):
+        resolve_study_request({"study": FAST_STUDY, "params": {"runtime": {}}})
+    with pytest.raises(ReproError, match="'study' key"):
+        resolve_study_request({})
+
+
+def test_study_request_fingerprint_covers_inputs():
+    base = resolve_study_request({"study": FAST_STUDY})
+    assert base.fingerprint() == resolve_study_request(
+        {"study": FAST_STUDY}
+    ).fingerprint()
+    assert base.fingerprint() != resolve_study_request(
+        {"study": FAST_STUDY, "seed": 9}
+    ).fingerprint()
+    assert base.fingerprint() != resolve_study_request(
+        {"study": "ext_hierarchy"}
+    ).fingerprint()
+
+
+def test_resolve_request_dispatches_study_and_sweep():
+    study = resolve_request({"study": FAST_STUDY})
+    assert isinstance(study, StudyQuery)
+    sweep = resolve_request({"sweep": {
+        "name": "tiny",
+        "cells": {"technologies": ["STT"], "flavors": ["optimistic"]},
+        "system": {"capacities_mb": [2]},
+    }})
+    assert isinstance(sweep, SweepQuery)
+    assert sweep.name == "tiny"
+    assert sweep.fingerprint() == resolve_request(
+        {"sweep": dict(sweep.raw)}
+    ).fingerprint()
+    with pytest.raises(ReproError, match="server-controlled"):
+        resolve_request({"sweep": {**dict(sweep.raw), "runtime": {}}})
+    with pytest.raises(ReproError):
+        resolve_request({"sweep": {"cells": {}}})  # selects no cells
+
+
+# -- rate limiting ---------------------------------------------------------
+
+
+def test_token_bucket_refills():
+    clock = [0.0]
+    bucket = TokenBucket(capacity=2, fill_rate=1.0, clock=lambda: clock[0])
+    assert bucket.take() == (True, 0.0)
+    assert bucket.take() == (True, 0.0)
+    allowed, retry = bucket.take()
+    assert not allowed and retry == pytest.approx(1.0)
+    clock[0] = 1.0
+    assert bucket.take() == (True, 0.0)
+
+
+# -- end-to-end over real sockets ------------------------------------------
+
+
+def test_cold_submit_computes_and_streams(tmp_path):
+    """Acceptance: a cold submit computes, streams progress, serves a result."""
+
+    async def body(service, client):
+        health = await client.health()
+        assert health["status"] == "ok"
+        studies = await client.studies()
+        assert {s["name"] for s in studies} == set(REGISTRY)
+
+        submitted = await client.submit({"study": FAST_STUDY})
+        assert submitted["submission"] == "created"
+        job_id = submitted["job"]["id"]
+
+        frames = [frame async for frame in client.events(job_id)]
+        progress = [f for f in frames if f["event"] == "progress"]
+        assert len(progress) >= 1  # acceptance: >= 1 streamed progress event
+        assert all(
+            f["data"]["phase"] in ("characterize", "evaluate", "trace")
+            for f in progress
+        )
+        assert frames[-1]["event"] == "done"
+
+        status = await client.wait(job_id, timeout=60)
+        assert status["state"] == "done"
+        assert status["fresh_work"] > 0  # cold: actually computed
+        assert status["telemetry"]["characterize_wall_s"] > 0
+
+        result = await client.result(job_id)
+        assert result["name"] == FAST_STUDY
+        assert result["row_count"] == len(result["rows"]) > 0
+        assert set(result["columns"]) == set(result["rows"][0])
+        # The stable result view carries nothing volatile.
+        assert "telemetry" not in result and "elapsed_s" not in result
+        return await client.result_bytes(job_id)
+
+    cold = asyncio.run(_with_service(service_config(tmp_path / "cache"), body))
+    assert json.loads(cold.decode("utf-8"))["name"] == FAST_STUDY
+
+
+def test_concurrent_identical_submits_share_one_job(tmp_path):
+    """Acceptance: identical concurrent submits coalesce onto one computation."""
+
+    async def body(service, client):
+        first, second = await asyncio.gather(
+            client.submit({"study": FAST_STUDY}),
+            client.submit({"study": FAST_STUDY}),
+        )
+        assert first["job"]["id"] == second["job"]["id"]
+        modes = {first["submission"], second["submission"]}
+        assert "created" in modes and modes <= {"created", "coalesced", "memo"}
+
+        status = await client.wait(first["job"]["id"], timeout=60)
+        assert status["state"] == "done"
+        assert status["submissions"] == 2
+
+        stats = await client.stats()
+        assert stats["manager"]["jobs"] == 1  # one computation, two submissions
+        assert stats["manager"]["submissions"] == 2
+        assert stats["manager"]["coalesced"] == 1
+
+        # Late re-submit after completion: a memo hit on the same job.
+        third = await client.submit({"study": FAST_STUDY})
+        assert third["submission"] == "memo"
+        assert third["job"]["id"] == first["job"]["id"]
+
+    asyncio.run(_with_service(service_config(tmp_path / "cache"), body))
+
+
+def test_coalescing_waits_on_inflight_computation():
+    """Deterministic coalescing: second submit attaches while job runs."""
+
+    class SlowQuery:
+        kind = "study"
+        name = "slow"
+
+        def __init__(self, gate):
+            self.gate = gate
+            self.runs = 0
+
+        def fingerprint(self):
+            return "slow-fingerprint"
+
+        def describe(self):
+            return {"kind": "study", "study": self.name}
+
+        def run(self, runtime=None):
+            self.runs += 1
+            self.gate.wait(timeout=10)
+            from repro.studies.pipeline import run_study
+
+            table = run_study(FAST_STUDY, runtime)
+            from repro.runtime.telemetry import SweepTelemetry
+            from repro.studies.pipeline import StudyOutcome
+
+            return StudyOutcome(
+                name=self.name, table=table, telemetry=SweepTelemetry(),
+                elapsed_s=0.0,
+            )
+
+    async def main():
+        import threading
+
+        gate = threading.Event()
+        query = SlowQuery(gate)
+        manager = JobManager(runtime=RuntimeOptions(on_error="skip"), workers=2)
+        manager.start()
+        try:
+            job1, mode1 = manager.submit(query)
+            await asyncio.sleep(0.05)  # job is now RUNNING, blocked on the gate
+            job2, mode2 = manager.submit(query)
+            assert mode1 == "created" and mode2 == "coalesced"
+            assert job1 is job2 and job1.submissions == 2
+            gate.set()
+            await asyncio.wait_for(job1.done.wait(), timeout=30)
+            assert job1.state == "done"
+            assert query.runs == 1  # exactly one computation
+        finally:
+            gate.set()
+            await manager.drain(timeout=10)
+
+    asyncio.run(main())
+
+
+def test_warm_resubmit_is_byte_identical_with_zero_fresh_work(tmp_path):
+    """Acceptance: warm re-submit → byte-identical result, fresh_work == 0."""
+    cache = tmp_path / "cache"
+
+    async def cold(service, client):
+        submitted = await client.submit({"study": FAST_STUDY})
+        status = await client.wait(submitted["job"]["id"], timeout=60)
+        assert status["fresh_work"] > 0
+        return await client.result_bytes(submitted["job"]["id"])
+
+    async def warm(service, client):
+        submitted = await client.submit({"study": FAST_STUDY})
+        status = await client.wait(submitted["job"]["id"], timeout=60)
+        assert status["state"] == "done"
+        assert status["fresh_work"] == 0  # acceptance: zero fresh work
+        return await client.result_bytes(submitted["job"]["id"])
+
+    first = asyncio.run(_with_service(service_config(cache), cold))
+    # A brand-new service instance against the same cache substrate.
+    second = asyncio.run(_with_service(service_config(cache), warm))
+    assert first == second  # acceptance: byte-identical
+
+
+def test_rate_limit_returns_429(tmp_path):
+    config = service_config(
+        tmp_path / "cache", rate_limit_rps=0.001, rate_limit_burst=1
+    )
+
+    async def body(service, client):
+        first = await client.submit({"study": FAST_STUDY}, client_id="alice")
+        assert first["job"]["id"]
+        with pytest.raises(ServiceError) as excinfo:
+            await client.submit({"study": FAST_STUDY}, client_id="alice")
+        assert excinfo.value.status == 429
+        # Another client has its own bucket.
+        other = await client.submit({"study": FAST_STUDY}, client_id="bob")
+        assert other["submission"] in ("coalesced", "memo")
+        status, headers, _ = await client.request(
+            "POST", "/v1/submit", {"study": FAST_STUDY},
+            {"X-Client-Id": "alice"},
+        )
+        assert status == 429
+        assert int(headers["retry-after"]) >= 1
+        await client.wait(first["job"]["id"], timeout=60)
+
+    asyncio.run(_with_service(config, body))
+
+
+def test_http_errors(tmp_path):
+    async def body(service, client):
+        with pytest.raises(ServiceError) as excinfo:
+            await client.submit({"study": "nope"})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            await client.status("job-999999")
+        assert excinfo.value.status == 404
+        status, _, _ = await client.request("GET", "/no/such/route")
+        assert status == 404
+        # Result before completion: 409.
+        submitted = await client.submit({"study": FAST_STUDY})
+        job_id = submitted["job"]["id"]
+        if submitted["job"]["state"] != "done":
+            with pytest.raises(ServiceError) as excinfo:
+                await client.result(job_id)
+            assert excinfo.value.status == 409
+        await client.wait(job_id, timeout=60)
+
+    asyncio.run(_with_service(service_config(tmp_path / "cache"), body))
+
+
+def test_graceful_shutdown_drains_inflight_jobs(tmp_path):
+    async def body():
+        service = ReproService(service_config(tmp_path / "cache"))
+        await service.start()
+        client = ServiceClient(service.host, service.port)
+        submitted = await client.submit({"study": FAST_STUDY})
+        # While the listener is still up but draining, submissions get 503.
+        service.draining = True
+        with pytest.raises(ServiceError) as excinfo:
+            await client.submit({"study": "ext_hierarchy"})
+        assert excinfo.value.status == 503
+        health = await client.health()
+        assert health["status"] == "draining"
+        await client.shutdown_server()
+        drained = await asyncio.wait_for(service.serve_until_shutdown(), 60)
+        assert drained  # in-flight job finished within the drain window
+        job = service.manager.get(submitted["job"]["id"])
+        assert job is not None and job.state == "done"
+
+    asyncio.run(body())
+
+
+def test_warm_keeper_precomputes_and_stamps(tmp_path):
+    cache = tmp_path / "cache"
+
+    async def main():
+        manager = JobManager(
+            runtime=RuntimeOptions(workers=1, cache_dir=str(cache),
+                                   on_error="skip"),
+            workers=1,
+        )
+        manager.start()
+        try:
+            keeper = WarmKeeper(manager, [FAST_STUDY], cache_dir=str(cache))
+            warmed = await asyncio.wait_for(keeper.run_once(), timeout=60)
+            assert warmed == [FAST_STUDY]
+            stamp = json.loads(
+                (cache / "service" / "warm_stamp.json").read_text()
+            )
+            assert FAST_STUDY in stamp["fingerprints"]
+            # Unchanged fingerprints: the second pass does nothing.
+            assert await keeper.run_once() == []
+            assert keeper.runs == 2 and keeper.warmed_total == 1
+        finally:
+            await manager.drain(timeout=10)
+
+    asyncio.run(main())
+
+
+def test_warm_start_serves_without_fresh_work(tmp_path):
+    """A service with a warm-keeper answers client submits with zero work."""
+    cache = tmp_path / "cache"
+
+    async def prewarm():
+        manager = JobManager(
+            runtime=RuntimeOptions(workers=1, cache_dir=str(cache),
+                                   on_error="skip"),
+            workers=1,
+        )
+        manager.start()
+        try:
+            keeper = WarmKeeper(manager, [FAST_STUDY], cache_dir=str(cache))
+            await asyncio.wait_for(keeper.run_once(), timeout=60)
+        finally:
+            await manager.drain(timeout=10)
+
+    async def serve_warm(service, client):
+        # The service's own warm-keeper pass found nothing to do...
+        await asyncio.wait_for(service.warm_keeper.run_once(), timeout=60)
+        assert service.warm_keeper.warmed_total == 0
+        # ...and a client submit is served entirely from cache.
+        submitted = await client.submit({"study": FAST_STUDY})
+        status = await client.wait(submitted["job"]["id"], timeout=60)
+        assert status["state"] == "done" and status["fresh_work"] == 0
+
+    asyncio.run(prewarm())
+    asyncio.run(_with_service(
+        service_config(cache, warm_studies=(FAST_STUDY,)), serve_warm
+    ))

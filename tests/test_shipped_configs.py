@@ -14,13 +14,15 @@ from repro.config import (
     run_study_config,
     run_suite_config,
 )
+from repro.config.schema import is_service_config
 from repro.studies.pipeline import REGISTRY
 
 CONFIG_DIR = Path(__file__).resolve().parent.parent / "config"
 CONFIG_FILES = sorted(CONFIG_DIR.glob("*.json"))
 SWEEP_CONFIG_FILES = [
     p for p in CONFIG_FILES
-    if not is_suite_config(json.loads(p.read_text()))
+    if not is_suite_config(raw := json.loads(p.read_text()))
+    and not is_service_config(raw)
 ]
 STUDY_CONFIG_FILES = sorted((CONFIG_DIR / "studies").glob("*.json"))
 
@@ -39,6 +41,16 @@ def test_sample_parses(path):
     parsed = load_config(path)
     assert parsed.cells
     assert parsed.capacities_bytes
+
+
+def test_service_stub_parses():
+    from repro.config.loader import load_service_config
+
+    parsed = load_service_config(CONFIG_DIR / "service.json")
+    assert parsed.workers == 2
+    assert parsed.rate_limit_rps > 0
+    assert set(parsed.warm_studies) <= set(REGISTRY)
+    assert parsed.runtime.on_error == "skip"
 
 
 def test_suite_stub_parses():

@@ -494,3 +494,73 @@ def test_plan_matches_run_selection(tmp_path):
     run = run_all(tmp_path, only=None, shard_index=1, shard_count=4,
                   runtime=RuntimeOptions(on_error="skip"))
     assert tuple(o.name for o in run.outcomes) == plan.selected
+
+
+# -- interrupted runs (Ctrl-C / SIGTERM drain) -----------------------------
+
+
+def _interrupt(**kwargs):
+    raise KeyboardInterrupt
+
+
+def _interrupting_registry():
+    """fig05 runs, then 'stop' simulates Ctrl-C, ext_hierarchy never runs."""
+    registry = dict(STUDIES)
+    registry["stop"] = StudySpec(
+        name="stop", builder=_interrupt, figure="n/a",
+        description="simulated Ctrl-C",
+    )
+    return registry
+
+
+def test_interrupted_run_writes_partial_manifest(tmp_path, monkeypatch):
+    monkeypatch.setattr("repro.studies.summary.STUDIES",
+                        _interrupting_registry())
+    run = run_all(tmp_path, only=["fig05_dnn_arrays", "stop", "ext_hierarchy"])
+    assert run.interrupted
+    # Only the study that finished before the interrupt is recorded...
+    assert [o.name for o in run.outcomes] == ["fig05_dnn_arrays"]
+    manifest = RunManifest.load(tmp_path)
+    assert manifest.names == ("fig05_dnn_arrays",)
+    # ...and its artifacts are fully on disk.
+    assert (tmp_path / "results" / "fig05_dnn_arrays.csv").exists()
+
+
+def test_interrupted_run_resumes_incrementally(tmp_path, monkeypatch):
+    monkeypatch.setattr("repro.studies.summary.STUDIES",
+                        _interrupting_registry())
+    first = run_all(tmp_path, only=["fig05_dnn_arrays", "stop"])
+    assert first.interrupted
+    # The re-run (without the interruptor) skips the completed study.
+    resumed = run_all(tmp_path, only=["fig05_dnn_arrays"])
+    assert not resumed.interrupted
+    assert resumed.outcomes[0].cached
+
+
+def test_interrupt_keeps_prior_entries_of_unrun_studies(tmp_path, monkeypatch):
+    # A full pass records ext_hierarchy...
+    run_all(tmp_path, only=["ext_hierarchy"])
+    monkeypatch.setattr("repro.studies.summary.STUDIES",
+                        _interrupting_registry())
+    # ...then an interrupted pass that selected (but never reached) it
+    # must not clobber its incremental state.
+    interrupted = run_all(
+        tmp_path, only=["fig05_dnn_arrays", "stop", "ext_hierarchy"]
+    )
+    assert interrupted.interrupted
+    manifest = RunManifest.load(tmp_path)
+    retained = {entry.name for entry in manifest.retained}
+    assert "ext_hierarchy" in retained
+    resumed = run_all(tmp_path, only=["fig05_dnn_arrays", "ext_hierarchy"])
+    assert resumed.fully_incremental
+
+
+def test_main_interrupted_exit_code(tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr("repro.studies.summary.STUDIES",
+                        _interrupting_registry())
+    rc = main([str(tmp_path), "--only", "fig05_dnn_arrays,stop"])
+    assert rc == 130
+    captured = capsys.readouterr()
+    assert "interrupted" in captured.err
+    assert "partial manifest" in captured.err
+    assert RunManifest.load(tmp_path).names == ("fig05_dnn_arrays",)
