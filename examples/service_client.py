@@ -16,6 +16,12 @@ Two modes:
 
       python examples/service_client.py --host 127.0.0.1 --port 8177 \\
           --study fig05_dnn_arrays --expect-warm --shutdown
+
+The client absorbs transient server trouble: submissions retry with
+backoff on connection reset or 503 (idempotent server-side, keyed by
+content fingerprint), and a dropped progress stream reconnects and
+resumes from the server's event replay — so the session survives a
+server restart mid-stream (``--retries`` bounds both).
 """
 
 import argparse
@@ -108,6 +114,9 @@ def main() -> int:
     parser.add_argument("--port", type=int, default=8177)
     parser.add_argument("--study", default="fig05_dnn_arrays",
                         help="registry study to submit")
+    parser.add_argument("--retries", type=int, default=3,
+                        help="transient-failure retries for submit and the "
+                             "event stream (connection reset / 503)")
     parser.add_argument("--expect-warm", action="store_true",
                         help="exit non-zero if any fresh work was performed")
     parser.add_argument("--shutdown", action="store_true",
@@ -116,7 +125,7 @@ def main() -> int:
     if args.host is None:
         return asyncio.run(self_hosted_demo(args.study))
     return asyncio.run(run_session(
-        ServiceClient(args.host, args.port), args.study,
+        ServiceClient(args.host, args.port, retries=args.retries), args.study,
         args.expect_warm, args.shutdown,
     ))
 

@@ -114,6 +114,8 @@ def _override_runtime(
     progress,
     point_shard_index: Optional[int] = None,
     point_shard_count: Optional[int] = None,
+    retry=None,
+    chaos=None,
 ):
     """Apply CLI-style overrides on top of a config's runtime options."""
     updates: dict[str, Any] = {"progress": progress}
@@ -129,6 +131,10 @@ def _override_runtime(
         updates["point_shard_index"] = point_shard_index
     if point_shard_count is not None:
         updates["point_shard_count"] = point_shard_count
+    if retry is not None:
+        updates["retry"] = retry
+    if chaos is not None:
+        updates["chaos"] = chaos
     try:
         return dataclasses.replace(runtime, **updates)
     except ValueError as exc:
@@ -157,12 +163,15 @@ def run_config(
     progress=None,
     point_shard_index: Optional[int] = None,
     point_shard_count: Optional[int] = None,
+    retry=None,
+    chaos=None,
 ) -> ResultTable:
     """Execute a sweep configuration end to end.
 
     ``workers``/``cache_dir``/``trace_cache_dir``/``seed``/
-    ``point_shard_index``/``point_shard_count`` override the config's
-    ``runtime`` section (e.g. from CLI flags); ``progress`` receives one
+    ``point_shard_index``/``point_shard_count``/``retry``/``chaos``
+    override the config's ``runtime`` section (e.g. from CLI flags);
+    ``progress`` receives one
     :class:`~repro.runtime.telemetry.ProgressEvent` per sweep point.
     """
     config = load_config(source)
@@ -178,7 +187,7 @@ def run_config(
     )
     runtime = _override_runtime(
         config.runtime_options(), workers, cache_dir, trace_cache_dir, seed,
-        progress, point_shard_index, point_shard_count,
+        progress, point_shard_index, point_shard_count, retry, chaos,
     )
     table = DSEEngine.from_options(runtime).run(spec)
     _write_csv(table, config.output_csv)
@@ -194,6 +203,8 @@ def run_study_config(
     progress=None,
     point_shard_index: Optional[int] = None,
     point_shard_count: Optional[int] = None,
+    retry=None,
+    chaos=None,
 ) -> ResultTable:
     """Execute a registered-study configuration end to end.
 
@@ -210,7 +221,7 @@ def run_study_config(
     spec = get_study(config.study)
     runtime = _override_runtime(
         config.runtime, workers, cache_dir, trace_cache_dir, seed, progress,
-        point_shard_index, point_shard_count,
+        point_shard_index, point_shard_count, retry, chaos,
     )
     # Validate params against the builder's signature up front, so a
     # TypeError raised deep inside a study is never misreported as a
@@ -248,6 +259,8 @@ def run_suite_config(
     progress=None,
     point_shard_index: Optional[int] = None,
     point_shard_count: Optional[int] = None,
+    retry=None,
+    chaos=None,
 ):
     """Execute a suite-run configuration end to end.
 
@@ -269,7 +282,7 @@ def run_suite_config(
         point_shard_count = config.point_shard_count
     runtime = _override_runtime(
         config.runtime, workers, cache_dir, trace_cache_dir, seed, progress,
-        point_shard_index, point_shard_count,
+        point_shard_index, point_shard_count, retry, chaos,
     )
     return run_all(
         config.output_dir,

@@ -30,7 +30,10 @@ A config describes one design sweep::
         "on_error": "raise" | "skip",
         "seed": null,
         "point_shard_index": 0,
-        "point_shard_count": 1
+        "point_shard_count": 1,
+        "retry": { "max_attempts": 3, "backoff_s": 0.05,
+                   "deadline_s": null },          // optional
+        "chaos": { "seed": 0, "worker_kill": 0.1 }  // optional, testing only
       },
       "output_csv": "results.csv"
     }
@@ -89,7 +92,9 @@ from repro.cells import CellTechnology, sram_cell, tentpoles_for
 from repro.cells.base import TechnologyClass
 from repro.errors import ConfigError
 from repro.nvsim.result import OptimizationTarget
+from repro.runtime.chaos import ChaosOptions
 from repro.runtime.options import RuntimeOptions
+from repro.runtime.resilience import RetryPolicy
 from repro.traffic.base import TrafficPattern
 from repro.traffic.dnn import DNN_WORKLOADS, NVDLAPerformanceModel, continuous_scenarios
 from repro.traffic.generic import generic_sweep, graph_envelope_sweep, log_spaced
@@ -174,7 +179,9 @@ class ServiceConfig:
     ``rate_limit_rps``/``rate_limit_burst`` parameterize the per-client
     submit token bucket (``rps <= 0`` disables limiting);
     ``warm_studies`` names registry studies the warm-keeper pre-computes
-    whenever their fingerprints change.
+    whenever their fingerprints change; ``job_retries`` bounds how many
+    times a job failing with a *transient* infrastructure error (broken
+    pool, injected chaos) is re-attempted before the failure is recorded.
     """
 
     host: str = "127.0.0.1"
@@ -185,6 +192,7 @@ class ServiceConfig:
     warm_studies: tuple = ()
     warm_interval_s: float = 300.0
     drain_timeout_s: float = 30.0
+    job_retries: int = 2
     runtime: RuntimeOptions = RuntimeOptions()
 
 
@@ -345,6 +353,14 @@ def _parse_runtime(section: Any) -> RuntimeOptions:
     point_shard_index = int(section.get("point_shard_index", 0))
     point_shard_count = int(section.get("point_shard_count", 1))
     _validate_point_shard(point_shard_index, point_shard_count, "runtime")
+    retry_section = section.get("retry")
+    retry = None
+    if retry_section is not None:
+        retry = RetryPolicy.from_mapping(retry_section)
+    chaos_section = section.get("chaos")
+    chaos = None
+    if chaos_section is not None:
+        chaos = ChaosOptions.from_mapping(chaos_section)
     return RuntimeOptions(
         workers=workers,
         cache_dir=None if cache_dir is None else str(cache_dir),
@@ -353,6 +369,8 @@ def _parse_runtime(section: Any) -> RuntimeOptions:
         seed=None if seed is None else int(seed),
         point_shard_index=point_shard_index,
         point_shard_count=point_shard_count,
+        retry=retry,
+        chaos=chaos,
     )
 
 
@@ -408,6 +426,9 @@ def parse_service_config(raw: Mapping[str, Any]) -> ServiceConfig:
     drain_timeout_s = float(section.get("drain_timeout_s", 30.0))
     if drain_timeout_s < 0:
         raise ConfigError("service.drain_timeout_s must be >= 0")
+    job_retries = int(section.get("job_retries", 2))
+    if job_retries < 0:
+        raise ConfigError("service.job_retries must be >= 0")
     return ServiceConfig(
         host=str(section.get("host", "127.0.0.1")),
         port=port,
@@ -417,6 +438,7 @@ def parse_service_config(raw: Mapping[str, Any]) -> ServiceConfig:
         warm_studies=tuple(str(name) for name in warm_studies),
         warm_interval_s=warm_interval_s,
         drain_timeout_s=drain_timeout_s,
+        job_retries=job_retries,
         runtime=_parse_runtime(raw.get("runtime", {})),
     )
 

@@ -31,12 +31,14 @@ from repro.errors import CharacterizationError
 from repro.nvsim.result import ArrayCharacterization, OptimizationTarget
 from repro.results.table import ResultTable
 from repro.runtime.cache import CharacterizationCache, EvaluationCache
+from repro.runtime.chaos import ChaosOptions
 from repro.runtime.executor import (
     SweepPoint,
     characterize_points,
     evaluate_blocks,
     sweep_points,
 )
+from repro.runtime.resilience import RetryPolicy
 from repro.runtime.options import (
     ARRAY_CACHE_SUBDIR,
     EVALUATION_CACHE_SUBDIR,
@@ -110,6 +112,8 @@ class DSEEngine:
         on_error: str = "raise",
         progress=None,
         point_shard: Optional[PointShard] = None,
+        retry: Optional[RetryPolicy] = None,
+        chaos: Optional[ChaosOptions] = None,
     ) -> None:
         if on_error not in ("raise", "skip"):
             raise ValueError(
@@ -119,12 +123,16 @@ class DSEEngine:
         self.on_error = on_error
         self.progress = progress
         self.point_shard = point_shard
+        self.retry = retry
+        self.chaos = chaos
         self.cache: Optional[CharacterizationCache] = None
         self.eval_cache: Optional[EvaluationCache] = None
         if cache_dir is not None:
             root = Path(cache_dir)
-            self.cache = CharacterizationCache(root / ARRAY_CACHE_SUBDIR)
-            self.eval_cache = EvaluationCache(root / EVALUATION_CACHE_SUBDIR)
+            self.cache = CharacterizationCache(root / ARRAY_CACHE_SUBDIR, chaos=chaos)
+            self.eval_cache = EvaluationCache(
+                root / EVALUATION_CACHE_SUBDIR, chaos=chaos
+            )
         #: In-memory cache keyed by the stable point fingerprint (shared
         #: with the on-disk cache's addressing).
         self._array_cache: dict[str, ArrayCharacterization] = {}
@@ -142,6 +150,8 @@ class DSEEngine:
             on_error=options.on_error,
             progress=options.progress,
             point_shard=options.point_shard,
+            retry=options.retry,
+            chaos=options.chaos,
         )
 
     def fingerprint(
@@ -208,6 +218,8 @@ class DSEEngine:
             telemetry=(
                 telemetry if telemetry is not None else SweepTelemetry(self.progress)
             ),
+            retry=self.retry,
+            chaos=self.chaos,
         )
 
     def _characterized(
@@ -228,6 +240,8 @@ class DSEEngine:
                 spec.point_shard if spec.point_shard is not None
                 else self.point_shard
             ),
+            retry=self.retry,
+            chaos=self.chaos,
         )
         return [array for array in results if array is not None]
 
@@ -263,6 +277,8 @@ class DSEEngine:
             arrays, tuple(spec.traffic), telemetry=telemetry
         )
         for rows in row_blocks:
+            if rows is None:  # block poisoned by exhausted transient retries
+                continue
             for row in rows:
                 table.append(row)
         return table

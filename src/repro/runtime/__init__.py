@@ -30,15 +30,26 @@ ProcessPoolExecutor`, with deterministic result ordering and a serial
   that let asyncio services drive the engine without stalling the loop.
 * :mod:`repro.runtime.interrupt` — SIGTERM delivered as
   ``KeyboardInterrupt`` so drivers and services share one drain path.
+* :mod:`repro.runtime.resilience` — fault-tolerant execution: transient
+  vs deterministic failure classification, bounded retries with
+  deterministic backoff, broken-pool recovery, a per-point deadline
+  watchdog, and ``POISONED`` quarantine for points that exhaust retries.
+* :mod:`repro.runtime.chaos` — deterministic fault injection (worker
+  crashes/kills/stalls, cache corruption) keyed by fingerprint + seed,
+  so every resilience guarantee is testable end-to-end.
+* :mod:`repro.runtime.fsck` — cache/manifest integrity audit and repair
+  (the ``nvmexplorer fsck`` command).
 """
 
 from repro.runtime.aio import AsyncStudyRunner, TelemetryBridge
 from repro.runtime.cache import (
+    QUARANTINE_SUBDIR,
     CharacterizationCache,
     EvaluationCache,
     JsonObjectCache,
     LLCTraceCache,
 )
+from repro.runtime.chaos import ChaosInjectedError, ChaosOptions, parse_chaos_spec
 from repro.runtime.executor import (
     SweepPoint,
     characterize_points,
@@ -59,8 +70,15 @@ from repro.runtime.fingerprint import (
     trace_fingerprint,
     trace_payload,
 )
+from repro.runtime.fsck import FsckReport, fsck_cache_dir, fsck_manifest, fsck_store
 from repro.runtime.interrupt import sigterm_as_keyboard_interrupt
 from repro.runtime.options import RuntimeOptions, engine_for, ensure_runtime
+from repro.runtime.resilience import (
+    RetryPolicy,
+    TaskOutcome,
+    classify_error,
+    run_resilient,
+)
 from repro.runtime.shard import (
     ManifestEntry,
     PointShard,
@@ -81,40 +99,52 @@ from repro.runtime.telemetry import ProgressEvent, SweepTelemetry
 
 __all__ = [
     "EVAL_SCHEMA_TAG",
+    "QUARANTINE_SUBDIR",
     "SCHEMA_TAG",
     "TRACE_SCHEMA_TAG",
     "AsyncStudyRunner",
+    "ChaosInjectedError",
+    "ChaosOptions",
     "CharacterizationCache",
     "EvaluationCache",
+    "FsckReport",
     "JsonObjectCache",
     "LLCTraceCache",
     "ManifestEntry",
     "PointShard",
     "ProgressEvent",
+    "RetryPolicy",
     "RunManifest",
     "RuntimeOptions",
     "ShardError",
     "ShardPlan",
     "SweepPoint",
     "SweepTelemetry",
+    "TaskOutcome",
     "TelemetryBridge",
     "assign_fingerprint",
     "canonical_json",
     "characterize_points",
+    "classify_error",
     "engine_for",
     "ensure_runtime",
     "evaluate_blocks",
+    "fsck_cache_dir",
+    "fsck_manifest",
+    "fsck_store",
     "evaluation_context",
     "evaluation_fingerprint",
     "fingerprint_payload",
     "merge_manifests",
     "parallel_map",
+    "parse_chaos_spec",
     "partition_fingerprints",
     "plan_shard",
     "point_fingerprint",
     "point_payload",
     "point_set_digest",
     "point_shard_section",
+    "run_resilient",
     "schema_tags",
     "shard_assignments",
     "sigterm_as_keyboard_interrupt",

@@ -27,16 +27,31 @@ Three stores share this machinery:
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 import os
 import threading
 from pathlib import Path
-from typing import Any, Iterator, Optional, Union
+from typing import TYPE_CHECKING, Any, Iterator, Optional, Union
 
 from repro.errors import ReproError
 from repro.nvsim.result import ArrayCharacterization
-from repro.runtime.fingerprint import EVAL_SCHEMA_TAG, SCHEMA_TAG, TRACE_SCHEMA_TAG
+from repro.runtime.fingerprint import (
+    EVAL_SCHEMA_TAG,
+    SCHEMA_TAG,
+    TRACE_SCHEMA_TAG,
+    canonical_json,
+)
+
+if TYPE_CHECKING:
+    from repro.runtime.chaos import ChaosOptions
+
+#: Subdirectory (inside a cache root) where entries that fail integrity
+#: verification are preserved for post-mortem instead of being deleted
+#: or silently overwritten.  The name is deliberately longer than the
+#: two-hex-digit fan-out dirs so ``??/*.json`` globs never see it.
+QUARANTINE_SUBDIR = "quarantine"
 
 #: Process-wide monotonic suffix so concurrent stores of the *same*
 #: fingerprint from different threads never collide on one temp name.
@@ -66,12 +81,27 @@ class JsonObjectCache:
     hit/miss/store accounting) is shared.
     """
 
-    def __init__(self, root: Union[str, Path], schema_tag: str) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        schema_tag: str,
+        chaos: Optional["ChaosOptions"] = None,
+    ) -> None:
         self.root = Path(root)
         self.schema_tag = schema_tag
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Entries that failed integrity verification on load (bad JSON,
+        #: checksum/fingerprint mismatch, undecodable payload).  Counted
+        #: separately from misses: a miss is expected cold-cache
+        #: behaviour, corruption is an infrastructure fault.
+        self.corrupt = 0
+        #: Corrupt entries successfully moved to the quarantine dir.
+        self.quarantined = 0
+        #: Optional fault injector (tests / chaos runs) — corrupts the
+        #: on-disk entry just before a load reads it.
+        self.chaos = chaos
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
@@ -94,37 +124,91 @@ class JsonObjectCache:
 
     # --- operations -------------------------------------------------------
 
-    def load(self, fingerprint: str):
-        """The cached result, or ``None`` on miss.
+    def _checksum(self, encoded_result: Any) -> str:
+        """Content checksum over the canonical form of an encoded result."""
+        return hashlib.sha256(canonical_json(encoded_result).encode("utf-8")).hexdigest()
 
-        Corrupt or schema-mismatched entries count as misses; they are left
-        in place (a corrupt file is overwritten by the next store).
+    def quarantine_dir(self) -> Path:
+        return self.root / QUARANTINE_SUBDIR
+
+    def _quarantine(self, fingerprint: str, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside — never silently overwritten in place.
+
+        The damaged file is preserved under ``quarantine/`` for
+        post-mortem (``nvmexplorer fsck`` reports the backlog); the next
+        store then writes a fresh entry at the original address.
+        """
+        self.corrupt += 1
+        qdir = self.quarantine_dir()
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            dest = qdir / path.name
+            if dest.exists():  # keep every damaged copy — suffix, don't clobber
+                dest = qdir / f"{path.name}.{next(_TMP_COUNTER)}"
+            os.replace(path, dest)
+        except OSError:
+            return
+        self.quarantined += 1
+
+    def load(self, fingerprint: str):
+        """The cached result, or ``None`` on miss or corruption.
+
+        A missing file or a schema-tag mismatch is an ordinary miss.  An
+        entry that fails integrity verification — undecodable JSON, a
+        checksum or fingerprint mismatch, or a payload the decoder
+        rejects — counts in ``corrupt`` (not ``misses``) and is moved to
+        ``quarantine/`` so the next store cannot silently paper over it.
+        Entries written before checksums existed carry no ``checksum``
+        field and are accepted as-is when they decode cleanly.
         """
         path = self.path_for(fingerprint)
+        if self.chaos is not None:
+            self.chaos.maybe_corrupt_file(path, fingerprint)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            text = path.read_text()
+        except OSError:
             self.misses += 1
             return None
-        if not isinstance(payload, dict) or payload.get("schema") != self.schema_tag:
+        except UnicodeDecodeError:
+            self._quarantine(fingerprint, path, "undecodable bytes")
+            return None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            self._quarantine(fingerprint, path, "invalid JSON")
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(fingerprint, path, "payload is not an object")
+            return None
+        if payload.get("schema") != self.schema_tag:
             self.misses += 1
+            return None
+        stored_fp = payload.get("fingerprint")
+        if stored_fp is not None and stored_fp != fingerprint:
+            self._quarantine(fingerprint, path, "fingerprint mismatch")
+            return None
+        checksum = payload.get("checksum")
+        if checksum is not None and checksum != self._checksum(payload.get("result")):
+            self._quarantine(fingerprint, path, "checksum mismatch")
             return None
         try:
             result = self._decode(payload["result"])
         except (ReproError, KeyError, TypeError, ValueError):
-            self.misses += 1
+            self._quarantine(fingerprint, path, "payload failed to decode")
             return None
         self.hits += 1
         return result
 
     def store(self, fingerprint: str, result) -> None:
-        """Persist one result atomically."""
+        """Persist one result atomically, with a content checksum."""
         path = self.path_for(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
+        encoded = self._encode(result)
         payload = {
             "schema": self.schema_tag,
             "fingerprint": fingerprint,
-            "result": self._encode(result),
+            "checksum": self._checksum(encoded),
+            "result": encoded,
         }
         tmp = _tmp_path_for(path)
         # No key sorting: the result payload must round-trip with its
@@ -170,7 +254,13 @@ class JsonObjectCache:
         return removed
 
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+            "quarantined": self.quarantined,
+        }
 
 
 class CharacterizationCache(JsonObjectCache):
@@ -180,8 +270,9 @@ class CharacterizationCache(JsonObjectCache):
         self,
         root: Union[str, Path],
         schema_tag: str = SCHEMA_TAG,
+        chaos: Optional["ChaosOptions"] = None,
     ) -> None:
-        super().__init__(root, schema_tag)
+        super().__init__(root, schema_tag, chaos=chaos)
 
     def _encode(self, result: ArrayCharacterization) -> Any:
         return result.to_dict()
@@ -205,8 +296,9 @@ class EvaluationCache(JsonObjectCache):
         self,
         root: Union[str, Path],
         schema_tag: str = EVAL_SCHEMA_TAG,
+        chaos: Optional["ChaosOptions"] = None,
     ) -> None:
-        super().__init__(root, schema_tag)
+        super().__init__(root, schema_tag, chaos=chaos)
 
     def _encode(self, result) -> Any:
         return list(result)
@@ -226,8 +318,9 @@ class LLCTraceCache(JsonObjectCache):
         self,
         root: Union[str, Path],
         schema_tag: str = TRACE_SCHEMA_TAG,
+        chaos: Optional["ChaosOptions"] = None,
     ) -> None:
-        super().__init__(root, schema_tag)
+        super().__init__(root, schema_tag, chaos=chaos)
 
     def _encode(self, result) -> Any:
         return result.to_dict()

@@ -11,34 +11,50 @@ serial sweeps produce identical results by construction.
 Worker failures are data, not crashes: a point whose characterization
 raises a framework error comes back as a failure record, and the caller
 decides (via ``on_error``) whether to abort the sweep or skip the point
-and keep going.
+and keep going.  Infrastructure faults — a crashed worker process, a
+stuck point, a transiently failing dependency — are absorbed by the
+resilience layer (:mod:`repro.runtime.resilience`): pools are rebuilt,
+transient failures retried with backoff, and points that exhaust their
+retry budget are quarantined as ``POISONED`` while the sweep completes
+around them.
 """
 
 from __future__ import annotations
 
 import copy
+import functools
 import math
-import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cells.base import CellTechnology
-from repro.errors import CharacterizationError, ReproError
+from repro.errors import (
+    CharacterizationError,
+    EvaluationError,
+    ExecutionError,
+    PoisonedPointError,
+)
 from repro.nvsim import characterize
 from repro.nvsim.result import ArrayCharacterization, OptimizationTarget
 from repro.runtime.cache import CharacterizationCache, EvaluationCache
+from repro.runtime.chaos import ChaosOptions
 from repro.runtime.fingerprint import (
     SCHEMA_TAG,
     evaluation_context,
     evaluation_fingerprint,
     point_fingerprint,
 )
+from repro.runtime.resilience import RetryPolicy, run_resilient
 from repro.runtime.shard import PointShard
 from repro.runtime.telemetry import (
     CACHED,
     COMPLETED,
+    CORRUPT,
     FAILED,
+    POISONED,
+    RETRIED,
     SKIPPED,
     ProgressEvent,
     SweepTelemetry,
@@ -47,6 +63,10 @@ from repro.runtime.telemetry import (
 #: Target number of chunks per worker; >1 so a slow chunk doesn't leave
 #: the rest of the pool idle at the tail of the sweep.
 _CHUNKS_PER_WORKER = 4
+
+#: How many times :func:`parallel_map` rebuilds a crashed pool before
+#: concluding the failure is not transient.
+_MAX_POOL_REBUILDS = 3
 
 
 @dataclass(frozen=True)
@@ -149,6 +169,12 @@ def parallel_map(
     (or a single item) this is a plain in-process loop.  ``on_result`` is
     called in the parent process as each item finishes — in completion
     order, not item order — for live progress reporting.
+
+    A crashed worker (``BrokenProcessPool``) does not kill the map: the
+    pool is rebuilt and only the chunks whose results were lost are
+    re-dispatched (``fn`` must therefore be effectively idempotent — true
+    for the pure model functions this runs).  Rebuilds are bounded; a
+    pool that keeps dying raises :class:`~repro.errors.ExecutionError`.
     """
     materialized = list(items)
     if workers <= 1 or len(materialized) <= 1:
@@ -160,13 +186,28 @@ def parallel_map(
                 on_result(index, value)
         return results
     chunksize = chunksize or _default_chunksize(len(materialized), workers)
-    chunks = _chunked(list(enumerate(materialized)), chunksize)
+    pending_chunks = _chunked(list(enumerate(materialized)), chunksize)
     results: List[Any] = [None] * len(materialized)
-    with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
-        futures = [pool.submit(_apply_chunk, (fn, chunk)) for chunk in chunks]
+    rebuilds = 0
+    while pending_chunks:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(pending_chunks)))
+        futures = {
+            pool.submit(_apply_chunk, (fn, chunk)): chunk for chunk in pending_chunks
+        }
+        done_ids: set = set()
+        broken = False
         try:
             for future in as_completed(futures):
-                for index, value in future.result():
+                try:
+                    records = future.result()
+                except BrokenProcessPool:
+                    # The pool is dead but keep draining: chunks that
+                    # finished before the crash still have results to
+                    # salvage, and the rest fail fast with this error.
+                    broken = True
+                    continue
+                done_ids.add(id(futures[future]))
+                for index, value in records:
                     results[index] = value
                     if on_result is not None:
                         on_result(index, value)
@@ -176,30 +217,27 @@ def parallel_map(
             # through work whose results will never be consumed.
             for future in futures:
                 future.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
             raise
+        if not broken:
+            pool.shutdown(wait=True)
+            break
+        pool.shutdown(wait=False, cancel_futures=True)
+        rebuilds += 1
+        if rebuilds > _MAX_POOL_REBUILDS:
+            raise ExecutionError(
+                f"process pool died {rebuilds} times running {fn!r}; giving up"
+            )
+        pending_chunks = [c for c in pending_chunks if id(c) not in done_ids]
     return results
 
 
 # --- characterization fan-out ---------------------------------------------
 
 
-def _characterize_chunk(chunk):
-    """Pool worker: characterize one chunk of indexed points.
-
-    Framework errors are returned as failure records so one infeasible
-    point cannot kill the pool; programming errors still propagate.
-    Every record carries the point's wall-clock duration, measured in the
-    worker so pool dispatch latency is excluded.
-    """
-    out = []
-    for index, point in chunk:
-        start = time.perf_counter()
-        try:
-            result = point.characterize()
-            out.append((index, True, result, time.perf_counter() - start))
-        except ReproError as exc:
-            out.append((index, False, str(exc), time.perf_counter() - start))
-    return out
+def _characterize_point(point: SweepPoint) -> ArrayCharacterization:
+    """Picklable task body for the resilient characterization fan-out."""
+    return point.characterize()
 
 
 def characterize_points(
@@ -212,6 +250,8 @@ def characterize_points(
     telemetry: Optional[SweepTelemetry] = None,
     chunksize: Optional[int] = None,
     point_shard: Optional[PointShard] = None,
+    retry: Optional[RetryPolicy] = None,
+    chaos: Optional[ChaosOptions] = None,
 ) -> List[Optional[ArrayCharacterization]]:
     """Characterize every point, in order, using every cache available.
 
@@ -227,6 +267,14 @@ def characterize_points(
     ``skipped`` event carrying the fingerprint — the accounting behind
     the run manifest's point-shard section and the merge step's
     exactly-once verification.
+
+    ``retry`` (default :class:`~repro.runtime.resilience.RetryPolicy`)
+    governs transient-failure handling: worker crashes, deadline
+    timeouts, and :class:`~repro.errors.TransientError` are retried with
+    backoff, and a point that exhausts its budget is reported as a
+    ``poisoned`` event (raising :class:`~repro.errors.PoisonedPointError`
+    under ``on_error="raise"``).  ``chaos`` deterministically injects
+    faults for resilience testing.
     """
     if on_error not in ("raise", "skip"):
         raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
@@ -263,7 +311,14 @@ def characterize_points(
         if fp in pending_by_fp:
             pending_by_fp[fp].append(index)
             continue
+        corrupt_before = cache.corrupt if cache is not None else 0
         array = cache.load(fp) if cache is not None else None
+        if cache is not None and cache.corrupt > corrupt_before:
+            # The loader quarantined a damaged entry; the point is
+            # recomputed below, this event only makes the damage visible.
+            telemetry.emit(ProgressEvent(
+                CORRUPT, point.label, index, total, source="disk",
+                fingerprint=_event_fp(fp)))
         if array is not None:
             memory[fp] = array
             results[index] = array
@@ -302,34 +357,48 @@ def characterize_points(
             raise CharacterizationError(
                 f"{points[first_index].label}: {message}")
 
-    pending = [(indices[0], points[indices[0]])
-               for indices in pending_by_fp.values()]
+    def _record_poisoned(
+        first_index: int, message: str, duration_s: float, attempts: int
+    ) -> None:
+        fp = fingerprints[first_index]
+        for nth, index in enumerate(pending_by_fp[fp]):
+            telemetry.emit(ProgressEvent(
+                POISONED, points[index].label, index, total, error=message,
+                fingerprint=_event_fp(fp),
+                duration_s=duration_s if nth == 0 else 0.0))
+        if on_error == "raise":
+            raise PoisonedPointError(
+                f"{points[first_index].label}: poisoned after "
+                f"{attempts} attempts: {message}")
 
-    if workers <= 1 or len(pending) <= 1:
-        for index, point in pending:
-            start = time.perf_counter()
-            try:
-                array = point.characterize()
-                _record_success(index, array, time.perf_counter() - start)
-            except ReproError as exc:
-                _record_failure(index, str(exc), time.perf_counter() - start)
-        return results
+    def _on_outcome(outcome) -> None:
+        first_index = pending_by_fp[outcome.key][0]
+        if outcome.status == "ok":
+            _record_success(first_index, outcome.value, outcome.duration_s)
+        elif outcome.status == "failed":
+            _record_failure(first_index, outcome.error, outcome.duration_s)
+        else:
+            _record_poisoned(
+                first_index, outcome.error, outcome.duration_s, outcome.attempts)
 
-    chunksize = chunksize or _default_chunksize(len(pending), workers)
-    chunks = _chunked(pending, chunksize)
-    with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
-        futures = [pool.submit(_characterize_chunk, chunk) for chunk in chunks]
-        try:
-            for future in as_completed(futures):
-                for index, ok, payload, duration_s in future.result():
-                    if ok:
-                        _record_success(index, payload, duration_s)
-                    else:
-                        _record_failure(index, payload, duration_s)
-        except BaseException:
-            for future in futures:
-                future.cancel()
-            raise
+    def _on_retry(key: str, attempt: int, error: str) -> None:
+        first_index = pending_by_fp[key][0]
+        telemetry.emit(ProgressEvent(
+            RETRIED, points[first_index].label, first_index, total,
+            error=error, fingerprint=_event_fp(key)))
+
+    tasks = [(fp, points[indices[0]]) for fp, indices in pending_by_fp.items()]
+    if tasks:
+        run_resilient(
+            tasks,
+            _characterize_point,
+            workers=workers,
+            policy=retry,
+            chaos=chaos,
+            chunksize=chunksize or _default_chunksize(len(tasks), workers),
+            on_outcome=_on_outcome,
+            on_retry=_on_retry,
+        )
     return results
 
 
@@ -341,19 +410,9 @@ def rows_fn_id(rows_fn) -> str:
     return f"{rows_fn.__module__}:{rows_fn.__qualname__}"
 
 
-def _evaluate_chunk(payload):
-    """Pool worker: evaluate one chunk of indexed (array x traffic) blocks.
-
-    Each record carries its block's wall-clock duration, measured in the
-    worker so pool dispatch latency is excluded.
-    """
-    rows_fn, traffic, extra, chunk = payload
-    out = []
-    for index, array in chunk:
-        start = time.perf_counter()
-        rows = rows_fn(array, traffic, extra)
-        out.append((index, rows, time.perf_counter() - start))
-    return out
+def _apply_rows_fn(rows_fn, traffic, extra, array):
+    """Picklable task body for the resilient evaluation fan-out."""
+    return rows_fn(array, traffic, extra)
 
 
 def evaluate_blocks(
@@ -368,6 +427,8 @@ def evaluate_blocks(
     telemetry: Optional[SweepTelemetry] = None,
     chunksize: Optional[int] = None,
     point_shard: Optional[PointShard] = None,
+    retry: Optional[RetryPolicy] = None,
+    chaos: Optional[ChaosOptions] = None,
 ) -> List[Optional[List[dict]]]:
     """Evaluate every array under the whole traffic block, in order.
 
@@ -433,7 +494,10 @@ def evaluate_blocks(
         if fp in pending_by_fp:
             pending_by_fp[fp].append(index)
             continue
+        corrupt_before = cache.corrupt if cache is not None else 0
         rows = cache.load(fp) if cache is not None else None
+        if cache is not None and cache.corrupt > corrupt_before:
+            _emit(CORRUPT, index, source="disk", fp=fp)
         if rows is not None:
             memory[fp] = rows
             results[index] = rows
@@ -452,30 +516,41 @@ def evaluate_blocks(
                   source="" if nth == 0 else "memory", fp=fp,
                   duration_s=duration_s if nth == 0 else 0.0)
 
-    pending = [(indices[0], arrays[indices[0]])
-               for indices in pending_by_fp.values()]
+    def _on_outcome(outcome) -> None:
+        first_index = pending_by_fp[outcome.key][0]
+        if outcome.status == "ok":
+            _record(first_index, outcome.value, outcome.duration_s)
+        elif outcome.status == "failed":
+            # Deterministic evaluation failures keep their historical
+            # semantics: they propagate (there is no on_error knob here).
+            raise EvaluationError(
+                f"{arrays[first_index].label}: {outcome.error}")
+        else:
+            # Transient infrastructure faults exhausted the retry budget:
+            # quarantine the block and complete the sweep around it.
+            for nth, index in enumerate(pending_by_fp[outcome.key]):
+                _emit(POISONED, index, fp=outcome.key,
+                      duration_s=outcome.duration_s if nth == 0 else 0.0)
 
-    if workers <= 1 or len(pending) <= 1:
-        for index, array in pending:
-            start = time.perf_counter()
-            rows = rows_fn(array, traffic, extra)
-            _record(index, rows, time.perf_counter() - start)
-    else:
-        chunksize = chunksize or _default_chunksize(len(pending), workers)
-        chunks = _chunked(pending, chunksize)
-        with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
-            futures = [
-                pool.submit(_evaluate_chunk, (rows_fn, traffic, extra, chunk))
-                for chunk in chunks
-            ]
-            try:
-                for future in as_completed(futures):
-                    for index, rows, duration_s in future.result():
-                        _record(index, rows, duration_s)
-            except BaseException:
-                for future in futures:
-                    future.cancel()
-                raise
+    def _on_retry(key: str, attempt: int, error: str) -> None:
+        first_index = pending_by_fp[key][0]
+        telemetry.emit(ProgressEvent(
+            RETRIED, arrays[first_index].label, first_index, total,
+            phase="evaluate", error=error,
+            fingerprint=key if selector is not None else ""))
+
+    tasks = [(fp, arrays[indices[0]]) for fp, indices in pending_by_fp.items()]
+    if tasks:
+        run_resilient(
+            tasks,
+            functools.partial(_apply_rows_fn, rows_fn, traffic, extra),
+            workers=workers,
+            policy=retry,
+            chaos=chaos,
+            chunksize=chunksize or _default_chunksize(len(tasks), workers),
+            on_outcome=_on_outcome,
+            on_retry=_on_retry,
+        )
     # Deep-copy at the memo boundary: a shallow per-row dict() copy would
     # still alias nested mutable values (lists, dicts) with the in-memory
     # memo and the block handed to the persistent cache, so annotating a

@@ -23,6 +23,8 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.runtime.chaos import ChaosOptions
+from repro.runtime.resilience import RetryPolicy
 from repro.runtime.shard import PointShard
 from repro.runtime.telemetry import ProgressCallback
 
@@ -62,6 +64,15 @@ class RuntimeOptions:
         1/``point_shard_count`` slice of every sweep's fingerprinted
         point space (:class:`~repro.runtime.shard.PointShard`).  The
         default (``0`` of ``1``) runs the whole space.
+    retry:
+        Transient-failure handling for every sweep
+        (:class:`~repro.runtime.resilience.RetryPolicy`): max attempts,
+        backoff, and the per-point deadline watchdog.  ``None`` uses the
+        policy defaults.
+    chaos:
+        Optional deterministic fault injection
+        (:class:`~repro.runtime.chaos.ChaosOptions`) for resilience
+        testing; ``None`` (the default) injects nothing.
     """
 
     workers: int = 1
@@ -72,6 +83,8 @@ class RuntimeOptions:
     seed: Optional[int] = None
     point_shard_index: int = 0
     point_shard_count: int = 1
+    retry: Optional[RetryPolicy] = None
+    chaos: Optional[ChaosOptions] = None
 
     def __post_init__(self) -> None:
         if int(self.workers) < 1:

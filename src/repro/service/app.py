@@ -68,7 +68,9 @@ class ReproService:
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config if config is not None else ServiceConfig()
         self.manager = JobManager(
-            runtime=self.config.runtime, workers=self.config.workers
+            runtime=self.config.runtime,
+            workers=self.config.workers,
+            job_retries=self.config.job_retries,
         )
         self.limiter = RateLimiter(
             self.config.rate_limit_rps, self.config.rate_limit_burst

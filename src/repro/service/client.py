@@ -6,6 +6,14 @@ makes it usable from the test suite, the shipped example script, and any
 asyncio application.  The raw-bytes accessor (:meth:`result_bytes`)
 exists specifically so callers can assert the service's byte-identity
 guarantee for warm results.
+
+Submission and event streaming tolerate a flaky server: a connection
+reset (or HTTP 503) during :meth:`~ServiceClient.submit` is retried with
+exponential backoff — safe because submission is fingerprint-idempotent
+server-side — and a dropped :meth:`~ServiceClient.events` stream
+reconnects and resumes from the server's event replay, skipping the
+frames already delivered, so a consumer sees each progress event
+exactly once even across a server restart.
 """
 
 from __future__ import annotations
@@ -24,12 +32,33 @@ class ServiceError(Exception):
         self.payload = payload
 
 
-class ServiceClient:
-    """Talks to one service instance at ``host:port``."""
+def _retryable(exc: BaseException) -> bool:
+    """Is this a transient transport/availability failure worth retrying?"""
+    if isinstance(exc, ServiceError):
+        return exc.status == 503
+    return isinstance(exc, (ConnectionError, asyncio.IncompleteReadError, OSError))
 
-    def __init__(self, host: str, port: int) -> None:
+
+class ServiceClient:
+    """Talks to one service instance at ``host:port``.
+
+    ``retries`` bounds how many transient failures (connection reset,
+    refused connection, HTTP 503) :meth:`submit` and :meth:`events`
+    absorb before propagating; ``retry_backoff_s`` is the base of the
+    exponential backoff between attempts.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        retries: int = 3,
+        retry_backoff_s: float = 0.2,
+    ) -> None:
         self.host = host
         self.port = int(port)
+        self.retries = max(0, int(retries))
+        self.retry_backoff_s = float(retry_backoff_s)
 
     # -- transport ---------------------------------------------------------
 
@@ -98,9 +127,25 @@ class ServiceClient:
         payload: Mapping[str, Any],
         client_id: Optional[str] = None,
     ) -> dict:
-        """Submit a study/sweep request; returns ``{"job": ..., "submission": ...}``."""
+        """Submit a study/sweep request; returns ``{"job": ..., "submission": ...}``.
+
+        Connection resets and 503s are retried with exponential backoff
+        (up to ``self.retries`` times): submission is keyed by content
+        fingerprint server-side, so a duplicate delivery coalesces onto
+        the same job instead of running twice.
+        """
         headers = {"X-Client-Id": client_id} if client_id else None
-        return await self.request_json("POST", "/v1/submit", payload, headers)
+        attempt = 0
+        while True:
+            try:
+                return await self.request_json(
+                    "POST", "/v1/submit", payload, headers
+                )
+            except Exception as exc:
+                attempt += 1
+                if not _retryable(exc) or attempt > self.retries:
+                    raise
+                await asyncio.sleep(self.retry_backoff_s * (2 ** (attempt - 1)))
 
     async def status(self, job_id: str) -> dict:
         return await self.request_json("GET", f"/v1/jobs/{job_id}")
@@ -143,7 +188,39 @@ class ServiceClient:
 
         Yields ``{"event": "progress"|"done", "data": {...}}`` frames;
         returns after the terminal ``done`` frame.
+
+        A connection dropped mid-stream is reconnected (up to
+        ``self.retries`` consecutive failures, with backoff): the server
+        replays a finished-or-running job's full event log on
+        reconnect, so the resumed stream skips the frames already
+        delivered and continues exactly where the drop happened.
         """
+        delivered = 0  # non-terminal frames already yielded to the caller
+        attempt = 0
+        while True:
+            replayed = 0
+            try:
+                async for frame in self._events_once(job_id):
+                    if frame["event"] == "done":
+                        yield frame
+                        return
+                    replayed += 1
+                    if replayed <= delivered:
+                        continue  # server replay of a frame we already yielded
+                    delivered += 1
+                    attempt = 0  # progress proves the server is healthy again
+                    yield frame
+                # EOF without a terminal frame: the server went away
+                # mid-stream; reconnect and resume from its replay.
+                raise ConnectionResetError("event stream ended without done")
+            except Exception as exc:
+                attempt += 1
+                if not _retryable(exc) or attempt > self.retries:
+                    raise
+                await asyncio.sleep(self.retry_backoff_s * (2 ** (attempt - 1)))
+
+    async def _events_once(self, job_id: str) -> AsyncIterator[dict]:
+        """One SSE connection's frames, ending at EOF or the done frame."""
         reader, writer = await asyncio.open_connection(self.host, self.port)
         try:
             writer.write(

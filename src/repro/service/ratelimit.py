@@ -72,16 +72,45 @@ class RateLimiter:
         self._buckets: dict[str, TokenBucket] = {}
         self.allowed_total = 0
         self.rejected_total = 0
+        self.pruned_total = 0
+        self._last_prune = clock()
 
     @property
     def enabled(self) -> bool:
         return self.rps > 0
+
+    @property
+    def _refill_horizon_s(self) -> float:
+        """How long an untouched bucket takes to refill completely."""
+        return self.burst / self.rps
+
+    def _prune(self, now: float) -> None:
+        """Drop buckets idle past a full refill.
+
+        An idle bucket refills to capacity after ``burst / rps`` seconds,
+        at which point its state is indistinguishable from a fresh
+        bucket — keeping it only leaks memory as one-off clients
+        accumulate.  Runs at most once per horizon, so the scan cost is
+        amortized across submissions.
+        """
+        horizon = self._refill_horizon_s
+        if now - self._last_prune < horizon:
+            return
+        self._last_prune = now
+        stale = [
+            key for key, bucket in self._buckets.items()
+            if now - bucket._stamp >= horizon
+        ]
+        for key in stale:
+            del self._buckets[key]
+        self.pruned_total += len(stale)
 
     def check(self, client_id: Optional[str]) -> Tuple[bool, float]:
         """May ``client_id`` submit now?  Returns ``(allowed, retry_after_s)``."""
         if not self.enabled:
             self.allowed_total += 1
             return True, 0.0
+        self._prune(self._clock())
         key = client_id or "anonymous"
         bucket = self._buckets.get(key)
         if bucket is None:
@@ -102,4 +131,5 @@ class RateLimiter:
             "clients": len(self._buckets),
             "allowed": self.allowed_total,
             "rejected": self.rejected_total,
+            "pruned": self.pruned_total,
         }

@@ -67,6 +67,13 @@ class StudyOutcome:
         return len(self.table)
 
     @property
+    def poisoned(self) -> int:
+        """Points quarantined after exhausting their transient-retry
+        budget (characterize + evaluate phases); the sweep completed
+        around them, so the table is missing their rows."""
+        return self.telemetry.poisoned + self.telemetry.eval_poisoned
+
+    @property
     def status(self) -> str:
         """Manifest-vocabulary status: ``ok`` / ``cached`` / ``failed``."""
         if not self.ok:

@@ -60,8 +60,10 @@ from typing import Optional, Sequence, Union
 
 from repro.errors import ReproError
 from repro.results.table import ResultTable
+from repro.runtime.chaos import parse_chaos_spec
 from repro.runtime.interrupt import sigterm_as_keyboard_interrupt
 from repro.runtime.options import RuntimeOptions, ensure_runtime
+from repro.runtime.resilience import RetryPolicy
 from repro.runtime.shard import (
     STATUS_CACHED,
     STATUS_FAILED,
@@ -159,7 +161,9 @@ def _reusable_entry(
 
     Redundant means: the prior run succeeded, its content fingerprint
     (parameters x schema tags x source digest) matches the current one,
-    and every recorded artifact still exists on disk.
+    every recorded artifact still exists on disk, and no point of the
+    prior run was quarantined as poisoned (a poisoned point means the
+    table is incomplete, so the study must be re-attempted).
     """
     if previous is None:
         return None
@@ -167,6 +171,9 @@ def _reusable_entry(
     if entry is None or not entry.ok or entry.fingerprint != fingerprint:
         return None
     if not entry.artifacts:
+        return None
+    counters = entry.telemetry or {}
+    if counters.get("poisoned", 0) or counters.get("eval_poisoned", 0):
         return None
     if not all((out / relpath).exists() for relpath in entry.artifacts.values()):
         return None
@@ -314,6 +321,7 @@ def _run_selected(
                     telemetry.planned_points,
                     telemetry.selected_points,
                     telemetry.completed_points,
+                    poisoned=telemetry.poisoned_points,
                 )
             entry = ManifestEntry(
                 name=name,
@@ -326,7 +334,10 @@ def _run_selected(
                 telemetry=outcome.telemetry.counters(),
                 point_shard=section,
             )
-            status = "ok" if outcome.ok else f"FAIL ({outcome.error})"
+            if outcome.ok and outcome.poisoned:
+                status = f"ok ({outcome.poisoned} poisoned)"
+            else:
+                status = "ok" if outcome.ok else f"FAIL ({outcome.error})"
         run.outcomes.append(outcome)
         entries.append(entry)
         print(f"{name:26s} {outcome.rows:5d} rows  "
@@ -493,6 +504,27 @@ def _report_manifest(manifest: RunManifest, output_dir: str) -> int:
     return EXIT_OK
 
 
+def _retry_policy(args) -> Optional[RetryPolicy]:
+    """The retry policy the CLI flags describe, or ``None`` for defaults."""
+    if (
+        args.retries is None
+        and args.retry_backoff is None
+        and args.point_deadline is None
+    ):
+        return None
+    defaults = RetryPolicy()
+    return RetryPolicy(
+        max_attempts=(
+            defaults.max_attempts if args.retries is None else args.retries
+        ),
+        backoff_s=(
+            defaults.backoff_s if args.retry_backoff is None
+            else args.retry_backoff
+        ),
+        deadline_s=args.point_deadline,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.studies.summary",
@@ -562,6 +594,29 @@ def main(argv: list[str] | None = None) -> int:
         help="abort on the first failing study, or record it and continue",
     )
     parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="max attempts per sweep point on transient failures "
+             "(worker crashes, deadline timeouts, injected chaos); "
+             "points that exhaust the budget are quarantined as poisoned",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=None, metavar="S",
+        help="base backoff between point retry attempts, in seconds",
+    )
+    parser.add_argument(
+        "--point-deadline", type=float, default=None, metavar="S",
+        help="per-point wall-clock deadline: overdue workers are killed "
+             "and the point is charged a transient attempt "
+             "(default: no deadline)",
+    )
+    parser.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="deterministic fault injection for resilience testing — "
+             "comma-separated key=value pairs (seed, worker_error, "
+             "worker_kill, stall, stall_s, poison, cache_corrupt, "
+             "corrupt_mode); 'off' disables",
+    )
+    parser.add_argument(
         "--expect-warm", action="store_true",
         help="exit non-zero if anything was recomputed (CI cache check)",
     )
@@ -573,6 +628,13 @@ def main(argv: list[str] | None = None) -> int:
         print(describe_registry())
         return EXIT_OK
 
+    try:
+        retry = _retry_policy(args)
+        chaos = parse_chaos_spec(args.chaos) if args.chaos is not None else None
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
     if args.merge is not None:
         incompatible = [
             flag for flag, given in (
@@ -583,6 +645,7 @@ def main(argv: list[str] | None = None) -> int:
                 ("--point-shard-count", args.point_shard_count != 1),
                 ("--force", args.force),
                 ("--expect-warm", args.expect_warm),
+                ("--chaos", chaos is not None),
             ) if given
         ]
         if incompatible:
@@ -605,6 +668,7 @@ def main(argv: list[str] | None = None) -> int:
                     trace_cache_dir=args.trace_cache_dir,
                     seed=args.seed,
                     on_error=args.on_error,
+                    retry=retry,
                 ),
             )
         except (ReproError, ValueError) as exc:
@@ -622,6 +686,8 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             point_shard_index=args.point_shard_index,
             point_shard_count=args.point_shard_count,
+            retry=retry,
+            chaos=chaos,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -110,7 +110,9 @@ class TestCharacterizationCache:
         cache.store(fp, stt_array_1mb)
         assert fp in cache
         assert cache.load(fp) == stt_array_1mb
-        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "stores": 1, "corrupt": 0, "quarantined": 0,
+        }
 
     def test_schema_tag_bump_invalidates(self, tmp_path, stt_optimistic,
                                          stt_array_1mb):
@@ -127,13 +129,47 @@ class TestCharacterizationCache:
         "garbage", ["{not json", "null", "[1, 2]", '"a string"'],
         ids=["truncated", "null", "list", "string"],
     )
-    def test_corrupt_entry_is_a_miss(self, tmp_path, stt_optimistic,
-                                     stt_array_1mb, garbage):
+    def test_corrupt_entry_is_quarantined(self, tmp_path, stt_optimistic,
+                                          stt_array_1mb, garbage):
         cache = CharacterizationCache(tmp_path)
         fp = make_point(stt_optimistic).fingerprint()
         cache.store(fp, stt_array_1mb)
         cache.path_for(fp).write_text(garbage)
         assert cache.load(fp) is None
+        # Corruption is an infrastructure fault, not an ordinary miss:
+        # counted separately, and the damaged file is preserved aside.
+        assert cache.corrupt == 1
+        assert cache.misses == 0
+        assert not cache.path_for(fp).exists()
+        assert (cache.quarantine_dir() / f"{fp}.json").read_text() == garbage
+        # The next store re-materializes the entry at the original path.
+        cache.store(fp, stt_array_1mb)
+        assert cache.load(fp) == stt_array_1mb
+
+    def test_checksum_mismatch_is_quarantined(self, tmp_path, stt_optimistic,
+                                              stt_array_1mb):
+        cache = CharacterizationCache(tmp_path)
+        fp = make_point(stt_optimistic).fingerprint()
+        cache.store(fp, stt_array_1mb)
+        path = cache.path_for(fp)
+        payload = json.loads(path.read_text())
+        payload["result"]["organization"]["banks"] = 999999
+        path.write_text(json.dumps(payload))
+        assert cache.load(fp) is None
+        assert cache.corrupt == 1
+        assert (cache.quarantine_dir() / f"{fp}.json").exists()
+
+    def test_legacy_entry_without_checksum_still_hits(
+            self, tmp_path, stt_optimistic, stt_array_1mb):
+        cache = CharacterizationCache(tmp_path)
+        fp = make_point(stt_optimistic).fingerprint()
+        cache.store(fp, stt_array_1mb)
+        path = cache.path_for(fp)
+        payload = json.loads(path.read_text())
+        del payload["checksum"]  # entry written before checksums existed
+        path.write_text(json.dumps(payload))
+        assert cache.load(fp) == stt_array_1mb
+        assert cache.corrupt == 0
 
     def test_clear_and_len(self, tmp_path, stt_optimistic, stt_array_1mb):
         cache = CharacterizationCache(tmp_path)
@@ -354,7 +390,9 @@ class TestEvaluationCache:
         assert cache.load(fp) is None
         cache.store(fp, rows)
         assert cache.load(fp) == rows  # exact cross-run parity, incl. floats
-        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "stores": 1, "corrupt": 0, "quarantined": 0,
+        }
 
     def test_schema_tag_bump_invalidates(self, tmp_path, stt_array_1mb):
         rows = self.rows(stt_array_1mb)
@@ -371,14 +409,17 @@ class TestEvaluationCache:
         loaded = cache.load("ef" * 32)
         assert [list(r) for r in loaded] == [["zeta", "alpha", "mid"]]
 
-    def test_malformed_payload_is_a_miss(self, tmp_path):
+    def test_malformed_payload_is_quarantined(self, tmp_path):
         cache = EvaluationCache(tmp_path)
         cache.store("cd" * 32, [{"a": 1}])
-        # Corrupt the payload into a non-list: decode must treat as miss.
+        # Corrupt the payload into a non-list: load must reject and
+        # quarantine the entry (checksum no longer matches either).
         path = cache.path_for("cd" * 32)
         text = path.read_text().replace('[{"a": 1}]', '{"a": 1}')
         path.write_text(text)
         assert cache.load("cd" * 32) is None
+        assert cache.corrupt == 1
+        assert not path.exists()
 
 
 def _tagged_rows(array, traffic, extra):

@@ -14,8 +14,10 @@ import json
 import pytest
 
 from repro.config.schema import ServiceConfig
-from repro.errors import ReproError
+from repro.errors import ReproError, TransientError
+from repro.results.table import ResultTable
 from repro.runtime.options import RuntimeOptions
+from repro.runtime.telemetry import SweepTelemetry
 from repro.service import (
     JobManager,
     ReproService,
@@ -27,7 +29,12 @@ from repro.service import (
     WarmKeeper,
     resolve_request,
 )
-from repro.studies.pipeline import REGISTRY, StudyRequest, resolve_study_request
+from repro.studies.pipeline import (
+    REGISTRY,
+    StudyOutcome,
+    StudyRequest,
+    resolve_study_request,
+)
 
 FAST_STUDY = "fig05_dnn_arrays"
 
@@ -399,3 +406,212 @@ def test_warm_start_serves_without_fresh_work(tmp_path):
     asyncio.run(_with_service(
         service_config(cache, warm_studies=(FAST_STUDY,)), serve_warm
     ))
+
+
+# -- resilience: limiter pruning, client retries, job re-attempts ----------
+
+
+def test_rate_limiter_prunes_idle_buckets():
+    from repro.service import RateLimiter
+
+    clock = [0.0]
+    limiter = RateLimiter(rps=1.0, burst=2, clock=lambda: clock[0])
+    limiter.check("alice")
+    limiter.check("bob")
+    assert limiter.stats()["clients"] == 2
+    # one full refill horizon (burst/rps = 2s) later, an untouched bucket
+    # is indistinguishable from a fresh one — the next check evicts both
+    clock[0] = 2.0
+    limiter.check("carol")
+    stats = limiter.stats()
+    assert stats["clients"] == 1  # only carol survives
+    assert stats["pruned"] == 2
+    # a pruned client is forgiven, not penalized: full burst again
+    allowed, _ = limiter.check("alice")
+    assert allowed
+
+
+def test_rate_limiter_prune_runs_at_most_once_per_horizon():
+    from repro.service import RateLimiter
+
+    clock = [0.0]
+    limiter = RateLimiter(rps=1.0, burst=4, clock=lambda: clock[0])
+    limiter.check("alice")
+    clock[0] = 1.0  # inside the 4s horizon: no prune scan yet
+    limiter.check("bob")
+    assert limiter.stats()["pruned"] == 0
+    clock[0] = 4.0  # past the horizon: alice (idle 4s) goes, bob (3s) stays
+    limiter.check("carol")
+    stats = limiter.stats()
+    assert stats["pruned"] == 1
+    assert stats["clients"] == 2
+
+
+def test_client_submit_retries_transient_failures():
+    async def main():
+        client = ServiceClient("127.0.0.1", 1, retries=3, retry_backoff_s=0.0)
+        calls = {"n": 0}
+
+        async def flaky(method, path, payload=None, headers=None):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ServiceError(503, "draining")
+            return {"job": {"id": "job-000001"}, "submission": "created"}
+
+        client.request_json = flaky
+        result = await client.submit({"study": FAST_STUDY})
+        assert result["job"]["id"] == "job-000001"
+        assert calls["n"] == 3
+
+    asyncio.run(main())
+
+
+def test_client_submit_does_not_retry_client_errors():
+    async def main():
+        client = ServiceClient("127.0.0.1", 1, retries=3, retry_backoff_s=0.0)
+        calls = {"n": 0}
+
+        async def rejected(method, path, payload=None, headers=None):
+            calls["n"] += 1
+            raise ServiceError(400, "bad request")
+
+        client.request_json = rejected
+        with pytest.raises(ServiceError, match="400"):
+            await client.submit({"study": FAST_STUDY})
+        assert calls["n"] == 1  # a 400 is deterministic; retrying is useless
+
+    asyncio.run(main())
+
+
+def test_client_submit_exhausts_retry_budget():
+    async def main():
+        client = ServiceClient("127.0.0.1", 1, retries=2, retry_backoff_s=0.0)
+        calls = {"n": 0}
+
+        async def down(method, path, payload=None, headers=None):
+            calls["n"] += 1
+            raise ConnectionRefusedError("nobody home")
+
+        client.request_json = down
+        with pytest.raises(ConnectionRefusedError):
+            await client.submit({"study": FAST_STUDY})
+        assert calls["n"] == 3  # the first try plus two retries
+
+    asyncio.run(main())
+
+
+def test_client_event_stream_resumes_from_replay():
+    """A dropped SSE stream reconnects and each frame is seen exactly once."""
+
+    frames = [
+        {"event": "progress", "data": {"index": 0}},
+        {"event": "progress", "data": {"index": 1}},
+        {"event": "progress", "data": {"index": 2}},
+        {"event": "done", "data": {"state": "done"}},
+    ]
+
+    async def main():
+        client = ServiceClient("127.0.0.1", 1, retries=3, retry_backoff_s=0.0)
+        connections = {"n": 0}
+
+        async def dropping_stream(job_id):
+            connections["n"] += 1
+            if connections["n"] == 1:
+                # the server dies after two progress frames, before done
+                for frame in frames[:2]:
+                    yield frame
+                raise ConnectionResetError("server restarted")
+            # the reconnect gets the full replay plus the terminal frame
+            for frame in frames:
+                yield frame
+
+        client._events_once = dropping_stream
+        seen = [frame async for frame in client.events("job-000001")]
+        assert seen == frames  # replayed frames were skipped, none doubled
+        assert connections["n"] == 2
+
+    asyncio.run(main())
+
+
+class _FlakyQuery:
+    """A ServiceQuery standin that fails transiently before succeeding."""
+
+    kind = "study"
+    name = "flaky-study"
+
+    def __init__(self, failures=1, error_factory=None):
+        self.calls = 0
+        self.failures = failures
+        self._error_factory = error_factory or (
+            lambda: TransientError("injected infrastructure fault")
+        )
+
+    def fingerprint(self):
+        return f"flaky-{id(self)}"
+
+    def describe(self):
+        return {"kind": self.kind, "study": self.name}
+
+    def run(self, runtime=None):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self._error_factory()
+        table = ResultTable([{"cell": "stt", "latency_ns": 1.0}])
+        return StudyOutcome(
+            name=self.name, table=table,
+            telemetry=SweepTelemetry(), elapsed_s=0.01,
+        )
+
+
+def _run_job_to_completion(query, job_retries):
+    async def main():
+        manager = JobManager(
+            runtime=RuntimeOptions(workers=1, on_error="skip"),
+            workers=1, job_retries=job_retries,
+        )
+        manager.start()
+        try:
+            job, mode = manager.submit(query)
+            assert mode == "created"
+            await asyncio.wait_for(job.done.wait(), timeout=30)
+            return job, manager.stats()
+        finally:
+            await manager.drain(timeout=10)
+
+    return asyncio.run(main())
+
+
+def test_job_manager_retries_transient_job_failures():
+    query = _FlakyQuery(failures=1)
+    job, stats = _run_job_to_completion(query, job_retries=2)
+    assert job.state == "done"
+    assert job.retries == 1
+    assert query.calls == 2
+    assert job.status()["retries"] == 1
+    assert stats["job_retries"] == 1
+    # the resilience counters ride through /v1/stats
+    assert stats["poisoned"] == 0
+    assert stats["corrupt"] == 0
+    assert stats["point_retries"] == 0
+
+
+def test_job_manager_fails_deterministic_errors_immediately():
+    query = _FlakyQuery(
+        failures=99, error_factory=lambda: ValueError("a real bug")
+    )
+    job, stats = _run_job_to_completion(query, job_retries=2)
+    assert job.state == "failed"
+    assert job.retries == 0
+    assert query.calls == 1
+    assert "a real bug" in job.error
+    assert stats["job_retries"] == 0
+
+
+def test_job_manager_exhausts_job_retry_budget():
+    query = _FlakyQuery(failures=99)
+    job, stats = _run_job_to_completion(query, job_retries=1)
+    assert job.state == "failed"
+    assert job.retries == 1
+    assert query.calls == 2
+    assert "injected infrastructure fault" in job.error
+    assert stats["job_retries"] == 1

@@ -564,3 +564,88 @@ def test_main_interrupted_exit_code(tmp_path, monkeypatch, capsys):
     assert "interrupted" in captured.err
     assert "partial manifest" in captured.err
     assert RunManifest.load(tmp_path).names == ("fig05_dnn_arrays",)
+
+
+# -- poisoned points: quarantine, partial manifests, chaos-off resume ------
+
+
+def _chaos_runtime(**kwargs):
+    from repro.runtime.chaos import ChaosOptions
+    from repro.runtime.resilience import RetryPolicy
+
+    return RuntimeOptions(
+        on_error="skip",
+        retry=RetryPolicy(max_attempts=2, backoff_s=0.0, max_backoff_s=0.0),
+        chaos=ChaosOptions(seed=9, poison_rate=1.0),
+        **kwargs,
+    )
+
+
+def test_poisoned_run_records_quarantine_in_manifest(tmp_path):
+    run = run_all(tmp_path, runtime=_chaos_runtime(),
+                  only=["fig05_dnn_arrays"])
+    assert run.ok  # the sweep completed *around* the poisoned points
+    outcome = run.outcomes[0]
+    assert outcome.poisoned > 0
+    entry = RunManifest.load(tmp_path).entry_for("fig05_dnn_arrays")
+    assert entry.status == "ok"
+    assert entry.telemetry["poisoned"] == outcome.telemetry.poisoned
+    assert entry.telemetry["retried"] > 0
+
+
+def test_sigterm_with_poisoned_points_leaves_resumable_manifest(
+    tmp_path, monkeypatch
+):
+    """Satellite: a drain mid-sweep with poisoned points writes a partial
+    manifest; the chaos-off re-run re-attempts only the poisoned and
+    never-run studies, keeping clean incremental entries warm."""
+    # a clean pass records ext_hierarchy with healthy telemetry
+    run_all(tmp_path, only=["ext_hierarchy"])
+
+    # chaos poisons fig05's points, then "stop" simulates SIGTERM before
+    # ext_hierarchy is reached
+    monkeypatch.setattr("repro.studies.summary.STUDIES",
+                        _interrupting_registry())
+    interrupted = run_all(
+        tmp_path, runtime=_chaos_runtime(),
+        only=["fig05_dnn_arrays", "stop", "ext_hierarchy"],
+    )
+    assert interrupted.interrupted
+    assert interrupted.outcomes[0].poisoned > 0
+    manifest = RunManifest.load(tmp_path)
+    assert manifest.entry_for("fig05_dnn_arrays").telemetry["poisoned"] > 0
+    assert "ext_hierarchy" in {e.name for e in manifest.retained}
+
+    # chaos off: the poisoned study re-attempts (its entry is not
+    # reusable), the clean study stays incremental
+    monkeypatch.setattr("repro.studies.summary.STUDIES", STUDIES)
+    resumed = run_all(tmp_path, only=["fig05_dnn_arrays", "ext_hierarchy"])
+    assert not resumed.interrupted
+    by_name = {o.name: o for o in resumed.outcomes}
+    assert by_name["ext_hierarchy"].cached  # untouched: no re-attempt
+    fresh = by_name["fig05_dnn_arrays"]
+    assert not fresh.cached  # poisoned entries never reuse incrementally
+    assert fresh.poisoned == 0
+    assert fresh.telemetry.completed > 0
+    # the healed manifest entry is clean and reusable from now on
+    healed = RunManifest.load(tmp_path).entry_for("fig05_dnn_arrays")
+    assert healed.telemetry.get("poisoned", 0) == 0
+    rerun = run_all(tmp_path, only=["fig05_dnn_arrays"])
+    assert rerun.outcomes[0].cached
+
+
+def test_main_chaos_flags_report_poisoned(tmp_path, capsys):
+    rc = main([
+        str(tmp_path), "--only", "fig05_dnn_arrays",
+        "--chaos", "seed=9,poison=1.0",
+        "--retries", "2", "--retry-backoff", "0",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "poisoned" in out
+
+
+def test_main_rejects_bad_chaos_spec(tmp_path, capsys):
+    rc = main([str(tmp_path), "--chaos", "worker_crash=0.5"])
+    assert rc == 2
+    assert "unknown chaos spec key" in capsys.readouterr().err
