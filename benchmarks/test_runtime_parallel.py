@@ -13,7 +13,7 @@ import time
 
 from repro.cells import VALIDATED_TECHNOLOGIES, sram_cell, study_cells
 from repro.core.engine import DSEEngine, SweepSpec
-from repro.nvsim.characterize import _characterize_all
+from repro.nvsim.characterize import clear_characterization_caches
 from repro.nvsim.result import OptimizationTarget
 from repro.traffic import TrafficPattern
 from repro.units import mb
@@ -45,7 +45,7 @@ def build_spec() -> SweepSpec:
 def timed(engine: DSEEngine, spec: SweepSpec):
     # Clear the in-process characterizer cache so every timed run (and the
     # workers forked from this process) starts cold and comparisons are fair.
-    _characterize_all.cache_clear()
+    clear_characterization_caches()
     start = time.perf_counter()
     table = engine.run(spec)
     return table, time.perf_counter() - start

@@ -19,7 +19,7 @@ import time
 from repro.core.engine import DSEEngine, SweepSpec
 from repro.cells import STUDY_TECHNOLOGIES, sram_cell, study_cells
 from repro.nvsim import OptimizationTarget
-from repro.nvsim.characterize import _characterize_all
+from repro.nvsim.characterize import clear_characterization_caches
 from repro.traffic import TrafficPattern
 from repro.units import mb
 
@@ -44,7 +44,7 @@ def build_spec() -> SweepSpec:
 def timed_run(engine: DSEEngine, spec: SweepSpec, label: str):
     # Start each timed run cold: forked workers inherit this process's
     # characterizer memoization, which would otherwise skew comparisons.
-    _characterize_all.cache_clear()
+    clear_characterization_caches()
     start = time.perf_counter()
     table = engine.run(spec)
     elapsed = time.perf_counter() - start

@@ -6,17 +6,36 @@ and returns the one that minimizes the chosen optimization target.
 :func:`characterize_sweep` runs several targets at once (Figure 3's
 "various optimization targets"), and :func:`pareto_front` exposes the whole
 organization space for the area-efficiency co-design study (Figure 12).
+
+Since PR 8 the organization sweep runs on the structure-of-arrays batch
+engine (:mod:`repro.nvsim.batch`): the whole candidate space is evaluated
+as one numpy array program and ranking/filtering are vectorized column
+operations.  The scalar model (:func:`repro.nvsim.model.evaluate_organization`)
+is retained as the exact-equality parity oracle — every lane the batch
+engine produces is bit-identical to the scalar path, property-tested in
+``tests/test_characterize_parity.py``.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from functools import lru_cache
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.cells.base import CellTechnology
-from repro.errors import CharacterizationError
-from repro.nvsim.model import evaluate_organization
-from repro.nvsim.organization import ArrayOrganization, candidate_organizations
+from repro.errors import CharacterizationError, ReproError
+from repro.nvsim.batch import (
+    BatchNumbers,
+    OrganizationSoA,
+    enumerate_soa,
+    evaluate_many,
+    feasible_indices,
+    select_winner_index,
+)
+from repro.nvsim.organization import ArrayOrganization
 from repro.nvsim.result import (
     DEFAULT_TARGET_SWEEP,
     ArrayCharacterization,
@@ -60,7 +79,110 @@ def _rank_metric(
     return table[target]
 
 
-@lru_cache(maxsize=4096)
+# One request's evaluated candidate space, columnar: (lanes, numbers,
+# feasible lane indices).  Kept in a small bounded LRU — each entry is a
+# handful of ~150-element float64 arrays, and the persistent disk cache
+# (repro.runtime.cache) is the real cross-process store; this memo only
+# de-duplicates work within one process (e.g. one cell swept across six
+# optimization targets).
+_LanesEntry = Tuple[OrganizationSoA, BatchNumbers, np.ndarray]
+_LanesKey = Tuple[CellTechnology, int, int, int, int]
+
+_LANES_CACHE: "OrderedDict[_LanesKey, _LanesEntry]" = OrderedDict()
+_LANES_CACHE_MAX = 128
+_LANES_LOCK = threading.Lock()
+
+
+def _no_feasible(
+    cell: CellTechnology, capacity_bytes: int, access_bits: int, bits_per_cell: int
+) -> CharacterizationError:
+    return CharacterizationError(
+        f"no feasible organization for {cell.name} at {capacity_bytes} bytes "
+        f"({bits_per_cell} bits/cell, {access_bits}-bit access)"
+    )
+
+
+def _lanes_get(key: _LanesKey) -> Optional[_LanesEntry]:
+    with _LANES_LOCK:
+        entry = _LANES_CACHE.get(key)
+        if entry is not None:
+            _LANES_CACHE.move_to_end(key)
+        return entry
+
+
+def _lanes_put(key: _LanesKey, entry: _LanesEntry) -> None:
+    with _LANES_LOCK:
+        _LANES_CACHE[key] = entry
+        _LANES_CACHE.move_to_end(key)
+        while len(_LANES_CACHE) > _LANES_CACHE_MAX:
+            _LANES_CACHE.popitem(last=False)
+
+
+def _evaluated_lanes(
+    cell: CellTechnology,
+    capacity_bytes: int,
+    node_nm: int,
+    access_bits: int,
+    bits_per_cell: int,
+) -> _LanesEntry:
+    """Evaluate the candidate space of one request as columnar lanes.
+
+    Raises :class:`CharacterizationError` when no candidate survives the
+    :data:`MIN_AREA_EFFICIENCY` filter (the entry is still memoized so
+    repeated hopeless requests stay cheap).
+    """
+    key = (cell, capacity_bytes, node_nm, access_bits, bits_per_cell)
+    entry = _lanes_get(key)
+    if entry is None:
+        node = get_node(node_nm)
+        soa = enumerate_soa(
+            capacity_bytes * BITS_PER_BYTE, access_bits, bits_per_cell
+        )
+        numbers = evaluate_many(cell, node, [soa])[0]
+        entry = (soa, numbers, feasible_indices(numbers, MIN_AREA_EFFICIENCY))
+        _lanes_put(key, entry)
+    if entry[2].size == 0:
+        raise _no_feasible(cell, capacity_bytes, access_bits, bits_per_cell)
+    return entry
+
+
+def warm_lanes(
+    requests: Iterable[Tuple[CellTechnology, int, int, int, int]],
+) -> None:
+    """Pre-evaluate many requests as one array program per (cell, node).
+
+    This is the executor's batch fast path: requests that share the cell,
+    node, access width, and bits-per-cell concatenate their candidate
+    lanes and run the model once over the union.  Requests whose
+    enumeration fails (bad capacity/width) are skipped — the subsequent
+    per-point :func:`characterize` call reports the error with full
+    context.  Infeasible-but-enumerable requests are memoized so the
+    per-point call raises without re-evaluating.
+    """
+    groups: "OrderedDict[Tuple[CellTechnology, int, int, int], list]" = OrderedDict()
+    for key in requests:
+        cell, capacity_bytes, node_nm, access_bits, bits_per_cell = key
+        if _lanes_get(key) is not None:
+            continue
+        try:
+            soa = enumerate_soa(
+                capacity_bytes * BITS_PER_BYTE, access_bits, bits_per_cell
+            )
+        except ReproError:
+            continue
+        groups.setdefault((cell, node_nm, access_bits, bits_per_cell), []).append(
+            (key, soa)
+        )
+    for (cell, node_nm, _ab, _bpc), members in groups.items():
+        node = get_node(node_nm)
+        batches = evaluate_many(cell, node, [soa for _key, soa in members])
+        for (key, soa), numbers in zip(members, batches):
+            _lanes_put(
+                key, (soa, numbers, feasible_indices(numbers, MIN_AREA_EFFICIENCY))
+            )
+
+
+@lru_cache(maxsize=64)
 def _characterize_all(
     cell: CellTechnology,
     capacity_bytes: int,
@@ -68,21 +190,27 @@ def _characterize_all(
     access_bits: int,
     bits_per_cell: int,
 ) -> tuple[tuple[ArrayOrganization, "object"], ...]:
-    """Evaluate every candidate organization once (cached)."""
-    node = get_node(node_nm)
-    capacity_bits = capacity_bytes * BITS_PER_BYTE
-    evaluated = []
-    for org in candidate_organizations(capacity_bits, access_bits, bits_per_cell):
-        numbers = evaluate_organization(cell, node, org)
-        if numbers.area_efficiency < MIN_AREA_EFFICIENCY:
-            continue
-        evaluated.append((org, numbers))
-    if not evaluated:
-        raise CharacterizationError(
-            f"no feasible organization for {cell.name} at {capacity_bytes} bytes "
-            f"({bits_per_cell} bits/cell, {access_bits}-bit access)"
-        )
-    return tuple(evaluated)
+    """Every feasible organization, materialized as scalar pairs.
+
+    Retained for callers that want the cloud in object form (and for the
+    legacy ``.cache_clear()`` hook); the evaluation itself runs on the
+    batch engine.  The cache is deliberately small — it pins fully
+    materialized organization clouds, and the persistent disk cache is
+    the long-term store.
+    """
+    soa, numbers, feasible = _evaluated_lanes(
+        cell, capacity_bytes, node_nm, access_bits, bits_per_cell
+    )
+    return tuple(
+        (soa.organization_at(i), numbers.numbers_at(i)) for i in feasible.tolist()
+    )
+
+
+def clear_characterization_caches() -> None:
+    """Drop all in-process characterization memos (lanes and clouds)."""
+    with _LANES_LOCK:
+        _LANES_CACHE.clear()
+    _characterize_all.cache_clear()
 
 
 def characterize(
@@ -118,37 +246,14 @@ def characterize(
         If no internal organization can realize the request.
     """
     cell.with_bits_per_cell(bits_per_cell)
-    evaluated = _characterize_all(
+    soa, numbers, feasible = _evaluated_lanes(
         cell, int(capacity_bytes), node_nm, access_bits, bits_per_cell
     )
-    preferred = tuple(
-        pair for pair in evaluated
-        if pair[1].area_efficiency >= PREFERRED_AREA_EFFICIENCY
+    winner = select_winner_index(
+        soa, numbers, feasible, optimization_target, PREFERRED_AREA_EFFICIENCY
     )
-    if preferred:
-        evaluated = preferred
-
-    def metric(pair) -> float:
-        return _rank_metric(
-            pair[1].read_latency,
-            pair[1].write_latency,
-            pair[1].read_energy,
-            pair[1].write_energy,
-            pair[1].area,
-            pair[1].leakage_power,
-            optimization_target,
-        )
-
-    best_value = min(metric(pair) for pair in evaluated)
-    # Among organizations within 5% of the optimum, prefer the one with the
-    # highest area efficiency (fewest subarrays / least periphery), then the
-    # most bank-level concurrency — a real memory compiler breaks near-ties
-    # toward the cheaper design, and banking is free among equals.
-    near_optimal = [pair for pair in evaluated if metric(pair) <= 1.05 * best_value]
-    best_org, best = max(
-        near_optimal,
-        key=lambda pair: (round(pair[1].area_efficiency, 2), pair[0].concurrency),
-    )
+    best_org = soa.organization_at(winner)
+    best = numbers.numbers_at(winner)
     return ArrayCharacterization(
         cell=cell,
         capacity_bytes=int(capacity_bytes),
@@ -180,13 +285,18 @@ def characterize_sweep(
 
     SRAM cells are implemented at ``sram_node_nm`` (16 nm in the paper)
     while eNVMs use ``node_nm`` (22 nm), matching the paper's comparison
-    setup.
+    setup.  The candidate space of each (cell, node) pair is evaluated
+    once on the batch engine and shared across all targets.
     """
+    cell_list = list(cells)
+    warm_lanes(
+        (cell, int(capacity_bytes), _node_for(cell, node_nm, sram_node_nm),
+         access_bits, bits_per_cell)
+        for cell in cell_list
+    )
     results: list[ArrayCharacterization] = []
-    for cell in cells:
-        cell_node = node_nm
-        if not cell.tech_class.is_nonvolatile and sram_node_nm is not None:
-            cell_node = sram_node_nm
+    for cell in cell_list:
+        cell_node = _node_for(cell, node_nm, sram_node_nm)
         for target in targets:
             results.append(
                 characterize(
@@ -201,24 +311,45 @@ def characterize_sweep(
     return results
 
 
+def _node_for(
+    cell: CellTechnology, node_nm: int, sram_node_nm: Optional[int]
+) -> int:
+    if not cell.tech_class.is_nonvolatile and sram_node_nm is not None:
+        return sram_node_nm
+    return node_nm
+
+
 def all_organizations(
     cell: CellTechnology,
     capacity_bytes: int,
     node_nm: int = 22,
     access_bits: int = DEFAULT_ACCESS_BITS,
     bits_per_cell: int = 1,
+    cache: Optional[object] = None,
 ) -> list[ArrayCharacterization]:
     """Every feasible organization as a full characterization (Figure 12).
 
     Unlike :func:`characterize` this does not pick a winner — the co-design
     studies filter this cloud by area efficiency and look at latency/power
-    structure across it.
+    structure across it.  Pass an
+    :class:`~repro.runtime.cache.OrganizationCloudCache` as ``cache`` to
+    persist the cloud across runs (it is the dominant cold-run cost of the
+    Figure 12 studies).
     """
-    evaluated = _characterize_all(
+    fingerprint = None
+    if cache is not None:
+        fingerprint = cache.fingerprint_for(
+            cell, int(capacity_bytes), node_nm, access_bits, bits_per_cell
+        )
+        cached = cache.load(fingerprint)
+        if cached is not None:
+            return cached
+    soa, numbers, feasible = _evaluated_lanes(
         cell, int(capacity_bytes), node_nm, access_bits, bits_per_cell
     )
     out = []
-    for org, numbers in evaluated:
+    for i in feasible.tolist():
+        lane = numbers.numbers_at(i)
         out.append(
             ArrayCharacterization(
                 cell=cell,
@@ -226,15 +357,17 @@ def all_organizations(
                 node_nm=node_nm,
                 bits_per_cell=bits_per_cell,
                 optimization_target=OptimizationTarget.READ_EDP,
-                organization=org,
-                area=numbers.area,
-                area_efficiency=numbers.area_efficiency,
-                read_latency=numbers.read_latency,
-                write_latency=numbers.write_latency,
-                read_energy=numbers.read_energy,
-                write_energy=numbers.write_energy,
-                leakage_power=numbers.leakage_power,
-                sleep_power=numbers.sleep_power,
+                organization=soa.organization_at(i),
+                area=lane.area,
+                area_efficiency=lane.area_efficiency,
+                read_latency=lane.read_latency,
+                write_latency=lane.write_latency,
+                read_energy=lane.read_energy,
+                write_energy=lane.write_energy,
+                leakage_power=lane.leakage_power,
+                sleep_power=lane.sleep_power,
             )
         )
+    if cache is not None and fingerprint is not None:
+        cache.store(fingerprint, out)
     return out

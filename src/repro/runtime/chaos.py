@@ -143,12 +143,18 @@ class ChaosOptions:
 
     # -- injection points -------------------------------------------------
 
-    def worker_fault(self, key: str, attempt: int, *, in_pool: bool) -> None:
+    def worker_fault(
+        self, key: str, attempt: int, *, in_pool: bool, poison: bool = True
+    ) -> None:
         """Maybe inject a fault before computing point ``key``.
 
         Called at the top of every point attempt, inside the worker when
         running in a pool and inline when running serially.  ``in_pool``
         gates SIGKILL: a serial run downgrades kills to transient errors.
+        ``poison=False`` skips the poison roll: batched characterization
+        tasks roll poison per *member* fingerprint (see
+        :meth:`rolls_poison`) so the poisoned set is identical whether
+        points run individually or batched.
         """
 
         if self.stall_rate > 0 and _roll(self.seed, "stall", key, attempt) < self.stall_rate:
@@ -169,8 +175,16 @@ class ChaosOptions:
         # fires on every retry, guaranteeing the point exhausts its
         # budget and is reported POISONED — deterministically, so CI can
         # assert on the exact set.
-        if self.poison_rate > 0 and _roll(self.seed, "poison", key) < self.poison_rate:
+        if poison and self.rolls_poison(key):
             raise ChaosInjectedError("chaos: injected persistent infrastructure fault")
+
+    def rolls_poison(self, key: str) -> bool:
+        """Whether ``key`` draws the (attempt-independent) poison fault."""
+
+        return (
+            self.poison_rate > 0
+            and _roll(self.seed, "poison", key) < self.poison_rate
+        )
 
     def maybe_corrupt_file(self, path: Path, key: str) -> bool:
         """Maybe corrupt the cache file at ``path`` before it is read.

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import copy
 import functools
+import hashlib
 import math
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
@@ -35,8 +36,11 @@ from repro.errors import (
     EvaluationError,
     ExecutionError,
     PoisonedPointError,
+    ReproError,
+    TransientError,
 )
 from repro.nvsim import characterize
+from repro.nvsim.characterize import warm_lanes
 from repro.nvsim.result import ArrayCharacterization, OptimizationTarget
 from repro.runtime.cache import CharacterizationCache, EvaluationCache
 from repro.runtime.chaos import ChaosOptions
@@ -240,6 +244,79 @@ def _characterize_point(point: SweepPoint) -> ArrayCharacterization:
     return point.characterize()
 
 
+@dataclass(frozen=True)
+class _CharacterizationBatch:
+    """Pending points sharing (cell, node, access width, bits/cell).
+
+    Executed as ONE resilient task: the members' candidate-organization
+    spaces are evaluated as a single array program on the batch engine
+    (:func:`repro.nvsim.characterize.warm_lanes`), then each member picks
+    its winner from the shared lanes.  Member outcomes are data — model
+    errors and chaos poison are captured per member, so the distributed
+    result (telemetry events, cache writes, poison quarantine) is
+    indistinguishable from running the points individually.
+    """
+
+    points: Tuple[SweepPoint, ...]
+    fingerprints: Tuple[str, ...]
+    chaos: Optional[ChaosOptions]
+
+    #: The resilience layer gates its group-key poison roll on this flag:
+    #: batch members roll poison per point fingerprint inside the task
+    #: body instead, keeping the poisoned set identical to unbatched runs.
+    chaos_poison_inline = True
+
+
+_POISON_MESSAGE = "chaos: injected persistent infrastructure fault"
+
+
+def _characterize_batch(batch: _CharacterizationBatch) -> List[Tuple[str, Any]]:
+    """Task body for one batch: per-member (status, payload) records.
+
+    Transient faults (including chaos worker errors rolled on the group
+    key) propagate and retry the whole group — the task is idempotent, so
+    that only costs wall-clock.
+    """
+    requests = []
+    seen = set()
+    for point in batch.points:
+        key = (
+            point.cell, point.capacity_bytes, point.node_nm,
+            point.access_bits, point.bits_per_cell,
+        )
+        if key not in seen:
+            seen.add(key)
+            requests.append(key)
+    try:
+        warm_lanes(requests)
+    except ReproError:
+        # A member's request is broken (bad node, infeasible space...).
+        # Fall through: each member re-raises its own error below with
+        # per-point context, exactly as the unbatched path reports it.
+        pass
+    outcomes: List[Tuple[str, Any]] = []
+    for point, fingerprint in zip(batch.points, batch.fingerprints):
+        if batch.chaos is not None and batch.chaos.rolls_poison(fingerprint):
+            outcomes.append(("poisoned", _POISON_MESSAGE))
+            continue
+        try:
+            value = point.characterize()
+        except TransientError:
+            raise
+        except ReproError as exc:
+            outcomes.append(("failed", str(exc)))
+        else:
+            outcomes.append(("ok", value))
+    return outcomes
+
+
+def _characterize_task(item) -> Any:
+    """Picklable dispatcher: single point or batched group."""
+    if isinstance(item, _CharacterizationBatch):
+        return _characterize_batch(item)
+    return item.characterize()
+
+
 def characterize_points(
     points: Sequence[SweepPoint],
     *,
@@ -329,7 +406,8 @@ def characterize_points(
         pending_by_fp[fp] = [index]
 
     def _record_success(
-        first_index: int, array: ArrayCharacterization, duration_s: float = 0.0
+        first_index: int, array: ArrayCharacterization,
+        duration_s: float = 0.0, source: str = "",
     ) -> None:
         fp = fingerprints[first_index]
         memory[fp] = array
@@ -340,7 +418,7 @@ def characterize_points(
             kind = COMPLETED if nth == 0 else CACHED
             telemetry.emit(ProgressEvent(
                 kind, points[index].label, index, total,
-                source="" if nth == 0 else "memory",
+                source=source if nth == 0 else "memory",
                 fingerprint=_event_fp(fp),
                 duration_s=duration_s if nth == 0 else 0.0))
 
@@ -371,7 +449,41 @@ def characterize_points(
                 f"{points[first_index].label}: poisoned after "
                 f"{attempts} attempts: {message}")
 
+    # A point that exhausts retries reports the policy's full budget;
+    # inline-poisoned batch members report the same number so poisoned
+    # messages are identical whether the point ran batched or alone.
+    max_attempts = (retry if retry is not None else RetryPolicy()).max_attempts
+
     def _on_outcome(outcome) -> None:
+        members = batch_members.get(outcome.key)
+        if members is not None:
+            share = outcome.duration_s / len(members)
+            if outcome.status == "ok":
+                for fp, (status, payload) in zip(members, outcome.value):
+                    first_index = pending_by_fp[fp][0]
+                    if status == "ok":
+                        _record_success(first_index, payload, share, source="batch")
+                    elif status == "failed":
+                        _record_failure(first_index, payload, share)
+                    else:
+                        # The poison fault is deterministic and
+                        # attempt-independent: run singly, this point
+                        # would have burned its whole retry budget on the
+                        # same error.  Emit the equivalent RETRIED events
+                        # so batched and unbatched telemetry agree.
+                        for _ in range(max_attempts - 1):
+                            _on_retry(fp, 0, payload)
+                        _record_poisoned(first_index, payload, share, max_attempts)
+            elif outcome.status == "failed":
+                for fp in members:
+                    _record_failure(
+                        pending_by_fp[fp][0], outcome.error, share)
+            else:
+                for fp in members:
+                    _record_poisoned(
+                        pending_by_fp[fp][0], outcome.error, share,
+                        outcome.attempts)
+            return
         first_index = pending_by_fp[outcome.key][0]
         if outcome.status == "ok":
             _record_success(first_index, outcome.value, outcome.duration_s)
@@ -382,16 +494,43 @@ def characterize_points(
                 first_index, outcome.error, outcome.duration_s, outcome.attempts)
 
     def _on_retry(key: str, attempt: int, error: str) -> None:
-        first_index = pending_by_fp[key][0]
+        members = batch_members.get(key)
+        fp = members[0] if members is not None else key
+        first_index = pending_by_fp[fp][0]
         telemetry.emit(ProgressEvent(
             RETRIED, points[first_index].label, first_index, total,
-            error=error, fingerprint=_event_fp(key)))
+            error=error, fingerprint=_event_fp(fp)))
 
-    tasks = [(fp, points[indices[0]]) for fp, indices in pending_by_fp.items()]
+    # Batch fast path: pending points sharing (cell, node, access width,
+    # bits/cell) characterize as ONE array program instead of N scalar
+    # sweeps.  Singleton groups keep the legacy per-point task shape.
+    groups: dict[Tuple, List[str]] = {}
+    for fp, indices in pending_by_fp.items():
+        point = points[indices[0]]
+        groups.setdefault(
+            (point.cell, point.node_nm, point.access_bits, point.bits_per_cell),
+            [],
+        ).append(fp)
+    tasks: List[Tuple[str, Any]] = []
+    batch_members: dict[str, Tuple[str, ...]] = {}
+    for member_fps in groups.values():
+        if len(member_fps) < 2:
+            fp = member_fps[0]
+            tasks.append((fp, points[pending_by_fp[fp][0]]))
+            continue
+        key = "batch:" + hashlib.sha256(
+            "\n".join(member_fps).encode("utf-8")
+        ).hexdigest()
+        batch_members[key] = tuple(member_fps)
+        tasks.append((key, _CharacterizationBatch(
+            points=tuple(points[pending_by_fp[fp][0]] for fp in member_fps),
+            fingerprints=tuple(member_fps),
+            chaos=chaos,
+        )))
     if tasks:
         run_resilient(
             tasks,
-            _characterize_point,
+            _characterize_task,
             workers=workers,
             policy=retry,
             chaos=chaos,

@@ -44,7 +44,7 @@ from repro.runtime.shard import RunManifest
 __all__ = ["FsckReport", "fsck_store", "fsck_cache_dir", "fsck_manifest", "main"]
 
 #: Store subdirectories fsck knows about inside a unified cache root.
-_KNOWN_STORES = ("arrays", "evaluations", "traces")
+_KNOWN_STORES = ("arrays", "evaluations", "traces", "clouds")
 
 
 @dataclass

@@ -190,7 +190,15 @@ def _run_task_chunk(
         start = time.perf_counter()
         try:
             if chaos is not None:
-                chaos.worker_fault(key, attempt, in_pool=in_pool)
+                # Items that roll poison per member (batched
+                # characterization) opt out of the group-key roll so the
+                # poisoned set matches the unbatched execution exactly.
+                chaos.worker_fault(
+                    key,
+                    attempt,
+                    in_pool=in_pool,
+                    poison=not getattr(item, "chaos_poison_inline", False),
+                )
             value = fn(item)
         except TransientError as exc:
             records.append((key, "transient", str(exc), time.perf_counter() - start))

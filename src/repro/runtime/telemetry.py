@@ -105,7 +105,7 @@ _COUNTER_FIELDS = (
     "completed", "cached", "failed", "skipped", "evaluated",
     "eval_cached", "eval_skipped", "trace_simulated", "trace_cached",
     "poisoned", "eval_poisoned", "corrupt", "eval_corrupt",
-    "trace_corrupt", "retried",
+    "trace_corrupt", "retried", "batched",
 )
 
 
@@ -129,6 +129,7 @@ class SweepTelemetry:
     eval_corrupt: int = 0  # evaluate-phase cache entries quarantined on load
     trace_corrupt: int = 0  # trace-phase cache entries quarantined on load
     retried: int = 0  # transient point failures retried (all phases)
+    batched: int = 0  # characterize-phase points computed via the batch engine
     #: Wall-clock spent computing fresh (or failing) points, per phase —
     #: the raw data behind cost-balanced shard planning and the service's
     #: per-request latency accounting.
@@ -203,6 +204,8 @@ class SweepTelemetry:
             self.trace_cached += 1
         elif event.kind == COMPLETED:
             self.completed += 1
+            if event.source == "batch":
+                self.batched += 1
         elif event.kind == CACHED:
             self.cached += 1
         elif event.kind == FAILED:
