@@ -1,0 +1,150 @@
+"""Elastic scheduling bench: balanced shards beat round-robin on skew.
+
+A fig12-style sweep (every study cell across a 64 KB - 8 MB capacity
+ladder) has strongly skewed per-point cost: the big arrays dominate
+wall-clock.  This bench characterizes the sweep cold while the cost
+ledger records real durations, then partitions the same point space
+both ways — the PR 5 round-robin fingerprint hash and the cost-balanced
+LPT plan fed by the now-warm ledger — and compares the max-shard /
+mean-shard load ratio (the makespan inflation a static fleet would see).
+
+The contract: balanced planning achieves a *strictly lower* ratio than
+round-robin on this skewed sweep, and both partitions are exact covers.
+Ratios land in ``BENCH_schedule.json`` at the repo root as a trajectory
+(one entry appended per run), uploaded as a CI artifact alongside the
+other bench trajectories.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.cells import study_cells
+from repro.nvsim.result import OptimizationTarget
+from repro.runtime import (
+    CharacterizationCache,
+    CostLedger,
+    SweepPoint,
+    characterize_points,
+    plan_balanced,
+)
+from repro.runtime.shard import assign_fingerprint
+from repro.units import kb, mb
+
+CAPACITIES = (kb(64), kb(256), mb(1), mb(4), mb(8))
+NODE_NM = 22
+SHARD_COUNT = 3
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_schedule.json"
+
+
+def _sweep_points():
+    return [
+        SweepPoint(
+            cell=cell,
+            capacity_bytes=capacity,
+            node_nm=NODE_NM,
+            target=OptimizationTarget.READ_EDP,
+            access_bits=64,
+            bits_per_cell=1,
+        )
+        for cell in study_cells()
+        for capacity in CAPACITIES
+    ]
+
+
+def _shard_loads(members_by_shard, costs):
+    return [sum(costs[fp] for fp in members) for members in members_by_shard]
+
+
+def _ratio(loads):
+    mean = sum(loads) / len(loads)
+    return max(loads) / mean if mean > 0 else 1.0
+
+
+def test_balanced_shards_flatten_the_skewed_sweep(tmp_path):
+    points = _sweep_points()
+    fingerprints = [point.fingerprint() for point in points]
+    cache = CharacterizationCache(tmp_path / "arrays")
+    ledger = CostLedger(tmp_path / "costs")
+
+    start = time.perf_counter()
+    results = characterize_points(points, cache=cache, ledger=ledger)
+    sweep_s = time.perf_counter() - start
+    assert all(array is not None for array in results)
+    assert ledger.observed == len(set(fingerprints))
+
+    # Observed per-point wall-clock is the load model for both plans.
+    costs = {}
+    for fp in fingerprints:
+        entry = ledger.load(fp)
+        costs[fp] = float(entry["mean_s"])
+
+    rr_members = [
+        {fp for fp in fingerprints if assign_fingerprint(fp, SHARD_COUNT) == i}
+        for i in range(SHARD_COUNT)
+    ]
+    planned = ledger.costs_for("characterize", {fp: {} for fp in fingerprints})
+    balanced = [plan_balanced(i, SHARD_COUNT, fingerprints, costs=planned)
+                for i in range(SHARD_COUNT)]
+    balanced_members = [shard.members for shard in balanced]
+
+    # Both partitions cover the point space exactly once.
+    for members_by_shard in (rr_members, balanced_members):
+        union = set()
+        for members in members_by_shard:
+            assert union.isdisjoint(members)
+            union |= members
+        assert union == set(fingerprints)
+
+    rr_loads = _shard_loads(rr_members, costs)
+    balanced_loads = _shard_loads(balanced_members, costs)
+    rr_ratio = _ratio(rr_loads)
+    balanced_ratio = _ratio(balanced_loads)
+
+    print(f"\n=== Elastic scheduling ({len(points)} points, "
+          f"{SHARD_COUNT} shards, cold sweep {sweep_s:.2f}s) ===")
+    print(f"{'scheme':>12s} {'max':>9s} {'mean':>9s} {'max/mean':>9s}")
+    for name, loads, ratio in (
+        ("round-robin", rr_loads, rr_ratio),
+        ("balanced", balanced_loads, balanced_ratio),
+    ):
+        mean = sum(loads) / len(loads)
+        print(f"{name:>12s} {max(loads) * 1e3:7.1f}ms {mean * 1e3:7.1f}ms "
+              f"{ratio:8.3f}x")
+
+    # The whole point of the planner: with a warm ledger, the predicted
+    # makespan inflation drops strictly below the round-robin hash's.
+    assert balanced_ratio < rr_ratio, (
+        f"balanced plan ({balanced_ratio:.3f}x max/mean) did not beat "
+        f"round-robin ({rr_ratio:.3f}x) on a skewed sweep"
+    )
+
+    _write_trajectory({
+        "schema": "bench-schedule-v1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "points": len(points),
+        "shard_count": SHARD_COUNT,
+        "cold_sweep_s": round(sweep_s, 4),
+        "model_source": ledger.model("characterize").source,
+        "round_robin": {
+            "loads_s": [round(load, 6) for load in rr_loads],
+            "max_over_mean": round(rr_ratio, 4),
+        },
+        "balanced": {
+            "loads_s": [round(load, 6) for load in balanced_loads],
+            "max_over_mean": round(balanced_ratio, 4),
+        },
+    })
+
+
+def _write_trajectory(entry):
+    runs = []
+    if BENCH_PATH.exists():
+        try:
+            previous = json.loads(BENCH_PATH.read_text())
+            runs = previous.get("runs", [])
+        except (OSError, json.JSONDecodeError):
+            runs = []
+    runs.append(entry)
+    BENCH_PATH.write_text(json.dumps(
+        {"schema": "bench-schedule-v1", "runs": runs[-50:]}, indent=2))

@@ -39,6 +39,11 @@ ProcessPoolExecutor`, with deterministic result ordering and a serial
   so every resilience guarantee is testable end-to-end.
 * :mod:`repro.runtime.fsck` — cache/manifest integrity audit and repair
   (the ``nvmexplorer fsck`` command).
+* :mod:`repro.runtime.schedule` — cost-model-driven elastic scheduling:
+  a persistent ledger of observed per-point wall-clock, a deterministic
+  regression cost model, cost-balanced (LPT) point-shard planning, and
+  a pull-based work queue where workers lease point batches with
+  heartbeat + expiry reclaim instead of taking a static partition.
 """
 
 from repro.runtime.aio import AsyncStudyRunner, TelemetryBridge
@@ -79,6 +84,17 @@ from repro.runtime.resilience import (
     classify_error,
     run_resilient,
 )
+from repro.runtime.schedule import (
+    BalancedPointShard,
+    CostLedger,
+    CostModel,
+    QueueLeaseLost,
+    WorkQueue,
+    cost_ledger_for,
+    evaluation_features,
+    plan_balanced,
+    point_features,
+)
 from repro.runtime.shard import (
     ManifestEntry,
     PointShard,
@@ -103,9 +119,12 @@ __all__ = [
     "SCHEMA_TAG",
     "TRACE_SCHEMA_TAG",
     "AsyncStudyRunner",
+    "BalancedPointShard",
     "ChaosInjectedError",
     "ChaosOptions",
     "CharacterizationCache",
+    "CostLedger",
+    "CostModel",
     "EvaluationCache",
     "FsckReport",
     "JsonObjectCache",
@@ -113,6 +132,7 @@ __all__ = [
     "ManifestEntry",
     "PointShard",
     "ProgressEvent",
+    "QueueLeaseLost",
     "RetryPolicy",
     "RunManifest",
     "RuntimeOptions",
@@ -122,13 +142,16 @@ __all__ = [
     "SweepTelemetry",
     "TaskOutcome",
     "TelemetryBridge",
+    "WorkQueue",
     "assign_fingerprint",
     "canonical_json",
     "characterize_points",
     "classify_error",
+    "cost_ledger_for",
     "engine_for",
     "ensure_runtime",
     "evaluate_blocks",
+    "evaluation_features",
     "fsck_cache_dir",
     "fsck_manifest",
     "fsck_store",
@@ -139,7 +162,9 @@ __all__ = [
     "parallel_map",
     "parse_chaos_spec",
     "partition_fingerprints",
+    "plan_balanced",
     "plan_shard",
+    "point_features",
     "point_fingerprint",
     "point_payload",
     "point_set_digest",

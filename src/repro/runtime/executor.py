@@ -25,6 +25,7 @@ import copy
 import functools
 import hashlib
 import math
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -51,6 +52,13 @@ from repro.runtime.fingerprint import (
     point_fingerprint,
 )
 from repro.runtime.resilience import RetryPolicy, run_resilient
+from repro.runtime.schedule import (
+    CostLedger,
+    WorkQueue,
+    evaluation_features,
+    plan_balanced,
+    point_features,
+)
 from repro.runtime.shard import PointShard
 from repro.runtime.telemetry import (
     CACHED,
@@ -329,6 +337,10 @@ def characterize_points(
     point_shard: Optional[PointShard] = None,
     retry: Optional[RetryPolicy] = None,
     chaos: Optional[ChaosOptions] = None,
+    ledger: Optional[CostLedger] = None,
+    schedule: str = "fingerprint",
+    queue: Optional[WorkQueue] = None,
+    track_fingerprints: bool = False,
 ) -> List[Optional[ArrayCharacterization]]:
     """Characterize every point, in order, using every cache available.
 
@@ -352,29 +364,69 @@ def characterize_points(
     ``poisoned`` event (raising :class:`~repro.errors.PoisonedPointError`
     under ``on_error="raise"``).  ``chaos`` deterministically injects
     faults for resilience testing.
+
+    Elastic scheduling (:mod:`repro.runtime.schedule`): with a
+    ``ledger``, every fresh characterization's wall-clock is recorded as
+    a cost observation (cache hits are never recorded — their zero
+    durations would poison the model).  ``schedule="balanced"`` replaces
+    the round-robin ``point_shard`` with a cost-balanced LPT plan over
+    the ledger's predictions; with an empty ledger the plan degrades to
+    exactly the round-robin partition.  A ``queue`` switches to the
+    pull-based lease mode: the static selector is ignored and this
+    worker leases point batches from the shared queue until the topic
+    drains.  ``track_fingerprints`` forces fingerprints onto telemetry
+    events even without a selector (queue mode's accounting).
     """
     if on_error not in ("raise", "skip"):
         raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
     telemetry = telemetry if telemetry is not None else SweepTelemetry()
     memory = memory if memory is not None else {}
+    total = len(points)
+    results: List[Optional[ArrayCharacterization]] = [None] * total
+    fingerprints: List[str] = [point.fingerprint() for point in points]
+    if queue is not None:
+        return _characterize_queue(
+            points,
+            fingerprints,
+            queue=queue,
+            workers=workers,
+            cache=cache,
+            memory=memory,
+            on_error=on_error,
+            telemetry=telemetry,
+            chunksize=chunksize,
+            retry=retry,
+            chaos=chaos,
+            ledger=ledger,
+        )
     selector = (
         point_shard
         if point_shard is not None and not point_shard.is_whole_space
         else None
     )
-    total = len(points)
-    results: List[Optional[ArrayCharacterization]] = [None] * total
+    if selector is not None and schedule == "balanced":
+        requests: dict[str, dict] = {}
+        for index, fp in enumerate(fingerprints):
+            if fp not in requests:
+                requests[fp] = point_features(points[index])
+        costs = (
+            ledger.costs_for("characterize", requests)
+            if ledger is not None
+            else None
+        )
+        selector = plan_balanced(
+            selector.index, selector.count, fingerprints, costs=costs
+        )
 
     def _event_fp(fp: str) -> str:
-        # Fingerprints ride on events only under point sharding, where
-        # downstream consumers need them for partition accounting.
-        return fp if selector is not None else ""
+        # Fingerprints ride on events only under point sharding (or when
+        # queue mode forces tracking), where downstream consumers need
+        # them for partition accounting.
+        return fp if selector is not None or track_fingerprints else ""
 
     pending_by_fp: dict[str, List[int]] = {}
-    fingerprints: List[str] = []
     for index, point in enumerate(points):
-        fp = point.fingerprint()
-        fingerprints.append(fp)
+        fp = fingerprints[index]
         if selector is not None and not selector.selects(fp):
             telemetry.emit(ProgressEvent(
                 SKIPPED, point.label, index, total, fingerprint=fp))
@@ -413,6 +465,11 @@ def characterize_points(
         memory[fp] = array
         if cache is not None:
             cache.store(fp, array)
+        if ledger is not None:
+            # Only fresh work reaches this path, and observe() itself
+            # drops non-positive durations — cache hits can never fold
+            # zeros into the cost model.
+            ledger.observe(fp, point_features(points[first_index]), duration_s)
         for nth, index in enumerate(pending_by_fp[fp]):
             results[index] = array
             kind = COMPLETED if nth == 0 else CACHED
@@ -541,6 +598,103 @@ def characterize_points(
     return results
 
 
+def _characterize_queue(
+    points: Sequence[SweepPoint],
+    fingerprints: Sequence[str],
+    *,
+    queue: WorkQueue,
+    workers: int,
+    cache: Optional[CharacterizationCache],
+    memory: dict,
+    on_error: str,
+    telemetry: SweepTelemetry,
+    chunksize: Optional[int],
+    retry: Optional[RetryPolicy],
+    chaos: Optional[ChaosOptions],
+    ledger: Optional[CostLedger],
+) -> List[Optional[ArrayCharacterization]]:
+    """Pull-based characterization: lease point batches until drained.
+
+    The planned point set is published (idempotently) as one queue
+    topic, so every consumer of the same sweep meets on the same batch
+    files with no coordination.  This worker first *replays* the batches
+    its durable claims file says it completed in a prior (crashed or
+    interrupted) run — cache hits that re-emit the telemetry accounting
+    its manifest needs — then leases fresh batches, heartbeating each
+    lease while the points characterize through the normal cached path.
+    A batch that errors out is released back to pending; a lease that
+    expired mid-work raises :class:`~repro.runtime.schedule.\
+    QueueLeaseLost` rather than risk double-counted points.
+
+    Points this worker never processed are reported as ``skipped``
+    events carrying their fingerprints — exactly like points owned by
+    another static shard — so the manifest's exactly-once merge
+    verification works unchanged across all consumers.
+    """
+    total = len(points)
+    results: List[Optional[ArrayCharacterization]] = [None] * total
+    indices_by_fp: dict[str, List[int]] = {}
+    for index, fp in enumerate(fingerprints):
+        indices_by_fp.setdefault(fp, []).append(index)
+    ordered = list(dict.fromkeys(fingerprints))
+    topic = queue.publish(ordered)
+
+    def _run_subset(subset: Sequence[str]) -> None:
+        sub_points = [points[indices_by_fp[fp][0]] for fp in subset]
+        sub_results = characterize_points(
+            sub_points,
+            workers=workers,
+            cache=cache,
+            memory=memory,
+            on_error=on_error,
+            telemetry=telemetry,
+            chunksize=chunksize,
+            retry=retry,
+            chaos=chaos,
+            ledger=ledger,
+            track_fingerprints=True,
+        )
+        for fp, array in zip(subset, sub_results):
+            for index in indices_by_fp[fp]:
+                results[index] = array
+
+    processed: set = set()
+    replay = [fp for fp in queue.claimed_points(topic) if fp in indices_by_fp]
+    if replay:
+        _run_subset(replay)
+        processed.update(replay)
+    while True:
+        batch = queue.lease(topic)
+        if batch is None:
+            if queue.drained(topic):
+                break
+            # Everything leasable is held by a live worker; wait for it
+            # to finish or for its lease to expire (bounded by expiry).
+            time.sleep(queue.poll_s)
+            continue
+        todo = [
+            fp
+            for fp in batch.fingerprints
+            if fp in indices_by_fp and fp not in processed
+        ]
+        try:
+            with queue.heartbeating(batch):
+                if todo:
+                    _run_subset(todo)
+        except BaseException:
+            queue.release(batch)
+            raise
+        queue.complete(batch)
+        processed.update(batch.fingerprints)
+    for fp in ordered:
+        if fp in processed:
+            continue
+        for index in indices_by_fp[fp]:
+            telemetry.emit(ProgressEvent(
+                SKIPPED, points[index].label, index, total, fingerprint=fp))
+    return results
+
+
 # --- (array x traffic) evaluation fan-out -----------------------------------
 
 
@@ -568,6 +722,7 @@ def evaluate_blocks(
     point_shard: Optional[PointShard] = None,
     retry: Optional[RetryPolicy] = None,
     chaos: Optional[ChaosOptions] = None,
+    ledger: Optional[CostLedger] = None,
 ) -> List[Optional[List[dict]]]:
     """Evaluate every array under the whole traffic block, in order.
 
@@ -649,6 +804,13 @@ def evaluate_blocks(
         memory[fp] = rows
         if cache is not None:
             cache.store(fp, rows)
+        if ledger is not None:
+            ledger.observe(
+                fp,
+                evaluation_features(arrays[first_index], len(traffic)),
+                duration_s,
+                phase="evaluate",
+            )
         for nth, index in enumerate(pending_by_fp[fp]):
             results[index] = rows
             _emit(COMPLETED if nth == 0 else CACHED, index,

@@ -44,7 +44,7 @@ from repro.runtime.shard import RunManifest
 __all__ = ["FsckReport", "fsck_store", "fsck_cache_dir", "fsck_manifest", "main"]
 
 #: Store subdirectories fsck knows about inside a unified cache root.
-_KNOWN_STORES = ("arrays", "evaluations", "traces", "clouds")
+_KNOWN_STORES = ("arrays", "evaluations", "traces", "clouds", "costs")
 
 
 @dataclass
@@ -218,7 +218,8 @@ def fsck_cache_dir(
     """Audit every store under a unified cache root.
 
     Recognizes the standard layout (``arrays/``, ``evaluations/``,
-    ``traces/``); a directory that itself fans out into two-hex-digit
+    ``traces/``, ``clouds/``, ``costs/``); a directory that itself fans
+    out into two-hex-digit
     subdirs is treated as a single bare store.  ``repair_from`` names a
     sibling cache root with the same layout.
     """
