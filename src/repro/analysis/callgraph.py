@@ -1,0 +1,244 @@
+"""Best-effort project call graph for reachability-scoped rules.
+
+The determinism rule must flag nondeterministic constructs anywhere
+*reachable from* fingerprinted code, not just inside it — a
+``time.time()`` three calls below ``characterize_points`` corrupts a
+cache key just as surely as one inside it.  This module builds the
+call graph that walk runs over:
+
+* **Name resolution** follows each module's imports, so ``fp.point_
+  fingerprint(...)`` and ``from ... import point_fingerprint`` both
+  resolve to ``repro.runtime.fingerprint.point_fingerprint``.
+* **Method calls** resolve exactly when the receiver is ``self``/``cls``
+  (same class first); any other ``obj.method(...)`` falls back to
+  class-hierarchy-analysis-without-types: an edge to *every* project
+  method of that name.  That over-approximates — reachability may
+  include code the runtime never calls — which is the right direction
+  for a linter: false reachability costs a suppression with a written
+  reason, missed reachability costs a corrupted cache.
+* **Module-level code** is modelled as a ``<module>`` pseudo-function so
+  import-time work participates.
+
+Precision upgrades (type-informed receiver resolution) are tracked in
+ROADMAP follow-ups; every resolution decision is local to this module.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.analysis.engine import LintContext, ModuleInfo, dotted_name, walk_scope
+
+__all__ = ["CallGraph", "FunctionNode", "build_call_graph"]
+
+#: Pseudo-function name holding a module's top-level statements.
+MODULE_BODY = "<module>"
+
+
+@dataclass
+class FunctionNode:
+    """One function/method (or module body) and its outgoing calls."""
+
+    qualname: str  # repro.mod.Class.method / repro.mod.func / repro.mod.<module>
+    module: str
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Module]
+    #: Fully-resolved dotted targets of every call expression inside
+    #: (project or external — external names drive banned-call checks).
+    resolved_calls: List[Tuple[str, ast.Call]] = field(default_factory=list)
+    #: Bare method names of calls whose receiver could not be resolved.
+    unresolved_methods: List[Tuple[str, ast.Call]] = field(default_factory=list)
+
+
+@dataclass
+class CallGraph:
+    """Function index + edges + reachability helpers over one context."""
+
+    functions: Dict[str, FunctionNode]
+    #: method name -> qualnames of every project method with that name
+    #: (the CHA fallback table).
+    methods_by_name: Dict[str, List[str]]
+
+    def callees(self, qualname: str) -> Set[str]:
+        """Project functions one hop from ``qualname`` (over-approximate)."""
+        node = self.functions.get(qualname)
+        if node is None:
+            return set()
+        out: Set[str] = set()
+        for target, _ in node.resolved_calls:
+            if target in self.functions:
+                out.add(target)
+            else:
+                # Calling a class constructs it: edge into __init__.
+                init = f"{target}.__init__"
+                if init in self.functions:
+                    out.add(init)
+        for name, _ in node.unresolved_methods:
+            out.update(self.methods_by_name.get(name, ()))
+        return out
+
+    def reachable_from(self, seeds: Iterable[str]) -> Dict[str, Optional[str]]:
+        """BFS closure over callees; maps each reached qualname to its
+        predecessor (None for seeds) so findings can explain the path."""
+        origin: Dict[str, Optional[str]] = {}
+        queue: deque = deque()
+        for seed in seeds:
+            if seed in self.functions and seed not in origin:
+                origin[seed] = None
+                queue.append(seed)
+        while queue:
+            current = queue.popleft()
+            for callee in sorted(self.callees(current)):
+                if callee not in origin:
+                    origin[callee] = current
+                    queue.append(callee)
+        return origin
+
+    def chain(self, origin: Dict[str, Optional[str]], qualname: str) -> List[str]:
+        """Seed-to-function path recorded by :meth:`reachable_from`."""
+        path = [qualname]
+        seen = {qualname}
+        while True:
+            parent = origin.get(path[-1])
+            if parent is None or parent in seen:
+                break
+            path.append(parent)
+            seen.add(parent)
+        path.reverse()
+        return path
+
+
+def _import_bindings(module: ModuleInfo) -> Dict[str, str]:
+    """Local name -> dotted target for every import in one module."""
+    bindings: Dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                bindings[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                # Relative imports: resolve against this module's package.
+                package_parts = module.name.split(".")
+                # level=1 strips the module name itself, deeper levels walk up.
+                base = package_parts[: len(package_parts) - max(node.level, 1)]
+                prefix = ".".join(base + ([node.module] if node.module else []))
+            else:
+                prefix = node.module
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                bindings[local] = f"{prefix}.{alias.name}" if prefix else alias.name
+    return bindings
+
+
+def resolve_chain(chain: str, bindings: Dict[str, str]) -> str:
+    """Expand a dotted call chain through the module's import bindings."""
+    head, _, rest = chain.partition(".")
+    target = bindings.get(head)
+    if target is None:
+        return chain
+    return f"{target}.{rest}" if rest else target
+
+
+def _enclosing_class(module: ModuleInfo, node: ast.AST) -> Optional[str]:
+    current = module.parents.get(node)
+    while current is not None:
+        if isinstance(current, ast.ClassDef):
+            return current.name
+        current = module.parents.get(current)
+    return None
+
+
+def _collect_calls(
+    module: ModuleInfo,
+    owner: FunctionNode,
+    body_nodes: Iterable[ast.AST],
+    bindings: Dict[str, str],
+    class_name: Optional[str],
+    local_functions: Set[str],
+) -> None:
+    for node in walk_scope(body_nodes):
+        if isinstance(node, ast.Call):
+            chain = dotted_name(node.func)
+            if chain is None:
+                continue
+            head = chain.split(".", 1)[0]
+            if head in ("self", "cls") and class_name is not None:
+                method = chain.split(".")[-1]
+                same_class = f"{module.name}.{class_name}.{method}"
+                owner.resolved_calls.append((same_class, node))
+                continue
+            if head in bindings or "." not in chain:
+                # Import-resolved (even when the binding is the identity,
+                # e.g. `import time` -> time.time), or a bare name: local
+                # function, builtin, or imported symbol.
+                resolved = resolve_chain(chain, bindings)
+                if "." not in resolved and resolved in local_functions:
+                    resolved = f"{module.name}.{resolved}"
+                owner.resolved_calls.append((resolved, node))
+            else:
+                # obj.method(...) with an unresolvable receiver — feed
+                # the CHA fallback with the method name.
+                owner.unresolved_methods.append((chain.split(".")[-1], node))
+
+
+def build_call_graph(ctx: LintContext) -> CallGraph:
+    """Index every function and its calls across the whole context."""
+    functions: Dict[str, FunctionNode] = {}
+    methods_by_name: Dict[str, List[str]] = {}
+
+    for module in ctx.modules.values():
+        bindings = _import_bindings(module)
+        local_functions = {
+            child.name
+            for child in module.tree.body
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        }
+
+        # Module body pseudo-function: top-level statements minus defs.
+        body = FunctionNode(
+            qualname=f"{module.name}.{MODULE_BODY}",
+            module=module.name,
+            node=module.tree,
+        )
+        top_level = [
+            child
+            for child in module.tree.body
+            if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        ]
+        _collect_calls(module, body, top_level, bindings, None, local_functions)
+        functions[body.qualname] = body
+
+        def walk(scope: ast.AST, prefix: str) -> None:
+            for child in ast.iter_child_nodes(scope):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{prefix}.{child.name}"
+                    fn = FunctionNode(qualname=qual, module=module.name, node=child)
+                    _collect_calls(
+                        module,
+                        fn,
+                        child.body,
+                        bindings,
+                        _enclosing_class(module, child),
+                        local_functions,
+                    )
+                    functions[qual] = fn
+                    cls = _enclosing_class(module, child)
+                    if cls is not None:
+                        methods_by_name.setdefault(child.name, []).append(qual)
+                    walk(child, qual)
+                elif isinstance(child, ast.ClassDef):
+                    walk(child, f"{prefix}.{child.name}")
+                else:
+                    walk(child, prefix)
+
+        walk(module.tree, module.name)
+
+    for names in methods_by_name.values():
+        names.sort()
+    return CallGraph(functions=functions, methods_by_name=methods_by_name)

@@ -104,7 +104,7 @@ class TableBackend:
             / math.log(hi["capacity_bytes"] / lo["capacity_bytes"])
         )
         out = {}
-        for key in set(lo) | set(hi):
+        for key in sorted(set(lo) | set(hi)):
             a, b = lo.get(key), hi.get(key)
             if isinstance(a, (int, float)) and isinstance(b, (int, float)) \
                     and a > 0 and b > 0:

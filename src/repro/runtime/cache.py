@@ -77,6 +77,39 @@ def _tmp_path_for(path: Path) -> Path:
     )
 
 
+def atomic_write_text(path: Path, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` via a unique temp file + ``os.replace``.
+
+    The shared primitive behind every durable artifact outside the JSON
+    caches (warm stamps, copied shard artifacts, lint pins): a reader or
+    crash-recovery pass never observes a truncated file, only the old
+    content or the new.
+    """
+    tmp = _tmp_path_for(path)
+    try:
+        tmp.write_text(text, encoding=encoding)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Byte-payload twin of :func:`atomic_write_text`."""
+    tmp = _tmp_path_for(path)
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_json(path: Path, payload: Any, **dumps_kwargs: Any) -> None:
+    """Serialize ``payload`` and atomically write it to ``path``."""
+    atomic_write_text(path, json.dumps(payload, **dumps_kwargs))
+
+
 class JsonObjectCache:
     """On-disk store of JSON-able results keyed by content fingerprint.
 
@@ -250,10 +283,10 @@ class JsonObjectCache:
         never count as entries — they are invisible to loads and globs).
         """
         removed = 0
-        for entry in self.root.glob("??/*.json"):
+        for entry in sorted(self.root.glob("??/*.json")):
             entry.unlink(missing_ok=True)
             removed += 1
-        for stale in self.root.glob("??/*.tmp.*"):
+        for stale in sorted(self.root.glob("??/*.tmp.*")):
             stale.unlink(missing_ok=True)
         return removed
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from pathlib import Path
 from typing import Any, Mapping
 
 from repro.cells.base import CellTechnology
@@ -39,6 +40,110 @@ TRACE_SCHEMA_TAG = "llc-trace-v1"
 #: reproduce fresh runs' CSV column order byte-for-byte; v1 entries
 #: stored alphabetized keys and must not be served.)
 EVAL_SCHEMA_TAG = "eval-rows-v2"
+
+#: Which source feeds each schema tag — the drift ratchet's ground truth.
+#:
+#: Maps the tag's constant name to ``(defining_module, source_modules)``.
+#: ``source_modules`` are the modules whose code produces the payloads
+#: the tag versions: changing any of them without bumping the tag is
+#: exactly the silent-cache-corruption bug the tag exists to prevent, so
+#: ``repro.analysis.drift`` pins a content digest of each set (committed
+#: in ``repro/analysis/drift_pins.json``) and ``nvmexplorer lint`` /
+#: ``tests/test_analysis_drift.py`` fail when a set's digest moves while
+#: its tag stands still.  A package entry covers every module under it.
+#:
+#: This module appears in its dependents' sets because the canonical
+#: payload builders (:func:`point_payload`, :func:`traffic_entry`, ...)
+#: live here: editing them re-pins (or re-tags) everything downstream.
+SCHEMA_TAG_SOURCES: Mapping[str, tuple[str, tuple[str, ...]]] = {
+    # arrays/ and clouds/ stores: the characterization model.
+    "SCHEMA_TAG": (
+        "repro.runtime.fingerprint",
+        (
+            "repro.nvsim",
+            "repro.cells.base",
+            "repro.cells.export",
+            "repro.tech",
+            "repro.runtime.fingerprint",
+        ),
+    ),
+    # traces/ store: stream generation + the batch cache simulator.
+    "TRACE_SCHEMA_TAG": (
+        "repro.runtime.fingerprint",
+        ("repro.cachesim", "repro.runtime.fingerprint"),
+    ),
+    # evaluations/ store: the analytical evaluation + row flattening.
+    "EVAL_SCHEMA_TAG": (
+        "repro.runtime.fingerprint",
+        ("repro.core.metrics", "repro.runtime.fingerprint"),
+    ),
+    # costs/ store and queue batch/claims payloads.
+    "COST_SCHEMA_TAG": (
+        "repro.runtime.schedule",
+        ("repro.runtime.schedule",),
+    ),
+    "QUEUE_SCHEMA": (
+        "repro.runtime.schedule",
+        ("repro.runtime.schedule",),
+    ),
+    # Shard manifests (resume/merge/fsck all parse them).
+    "MANIFEST_SCHEMA": (
+        "repro.runtime.shard",
+        ("repro.runtime.shard",),
+    ),
+}
+
+
+def tag_source_files(
+    source_modules: tuple[str, ...],
+    package_root: Path = None,
+) -> list[Path]:
+    """The source files one tag's module set covers, sorted.
+
+    A dotted name resolving to a package directory covers every ``*.py``
+    under it recursively; a plain module covers its single file.
+    ``package_root`` is the directory containing the ``repro`` package
+    (defaults to this installation's).
+    """
+    if package_root is None:
+        package_root = Path(__file__).resolve().parents[2]
+    files: set = set()
+    for dotted in source_modules:
+        relative = Path(*dotted.split("."))
+        package_dir = package_root / relative
+        module_file = package_root / relative.with_suffix(".py")
+        if package_dir.is_dir():
+            files.update(sorted(package_dir.rglob("*.py")))
+        elif module_file.is_file():
+            files.add(module_file)
+        else:
+            raise FileNotFoundError(
+                f"schema-tag source module {dotted!r} not found under "
+                f"{package_root}"
+            )
+    return sorted(files)
+
+
+def tag_source_digest(
+    source_modules: tuple[str, ...],
+    package_root: Path = None,
+) -> str:
+    """Content digest of one tag's module set (mtime-independent).
+
+    Raw bytes participate, like :func:`repro.runtime.shard.source_digest`
+    — deliberately stricter than semantic hashing, so even a comment-only
+    edit to cache-feeding code forces an explicit re-pin (attesting the
+    change is semantics-preserving) or a tag bump.
+    """
+    if package_root is None:
+        package_root = Path(__file__).resolve().parents[2]
+    digest = hashlib.sha256()
+    for path in tag_source_files(source_modules, package_root):
+        digest.update(path.relative_to(package_root).as_posix().encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()
 
 
 def canonical_json(payload: Any) -> str:

@@ -181,7 +181,9 @@ def fsck_store(
         missing: Dict[str, Path] = {}
         qdir = root / QUARANTINE_SUBDIR
         if qdir.is_dir():
-            for damaged in qdir.iterdir():
+            # Sorted so the fingerprint -> exemplar-file choice (and with
+            # it the report) is stable across filesystems.
+            for damaged in sorted(qdir.iterdir()):
                 fp = _entry_fingerprint(damaged)
                 if fp:
                     missing.setdefault(fp, damaged)
@@ -206,7 +208,7 @@ def fsck_store(
 
     qdir = root / QUARANTINE_SUBDIR
     if qdir.is_dir():
-        report.quarantine_backlog = sum(1 for _ in qdir.iterdir())
+        report.quarantine_backlog = len(list(qdir.iterdir()))
     return report
 
 

@@ -597,7 +597,7 @@ class WorkQueue:
             except OSError:
                 # Lost the publish race; the winner's batches are
                 # identical by construction.
-                for leftover in stage.iterdir():
+                for leftover in sorted(stage.iterdir()):
                     leftover.unlink(missing_ok=True)
                 stage.rmdir()
             self._write_json(
@@ -774,7 +774,7 @@ class WorkQueue:
         count = 0
         for directory in (self._pending_dir(topic), self._leased_dir(topic)):
             if directory.is_dir():
-                count += sum(1 for _ in directory.glob("batch-*.json"))
+                count += len(list(directory.glob("batch-*.json")))
         return count
 
     def drained(self, topic: str) -> bool:
@@ -784,7 +784,7 @@ class WorkQueue:
         pending = self._pending_dir(topic)
         leased = self._leased_dir(topic)
         return {
-            "pending": sum(1 for _ in pending.glob("batch-*.json")) if pending.is_dir() else 0,
-            "leased": sum(1 for _ in leased.glob("batch-*.json")) if leased.is_dir() else 0,
+            "pending": len(list(pending.glob("batch-*.json"))) if pending.is_dir() else 0,
+            "leased": len(list(leased.glob("batch-*.json"))) if leased.is_dir() else 0,
             "claimed": len(self._claimed_batches(topic)),
         }

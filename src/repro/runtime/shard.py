@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
 from repro.errors import ReproError
+from repro.runtime.cache import atomic_write_bytes
 from repro.runtime.fingerprint import (
     EVAL_SCHEMA_TAG,
     SCHEMA_TAG,
@@ -795,4 +796,4 @@ def collect_artifacts(
                 )
             dst = target / relpath
             dst.parent.mkdir(parents=True, exist_ok=True)
-            dst.write_bytes(src.read_bytes())
+            atomic_write_bytes(dst, src.read_bytes())

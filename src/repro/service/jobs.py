@@ -30,7 +30,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import replace
-from typing import AsyncIterator, Optional, Tuple
+from typing import AsyncIterator, Callable, Optional, Tuple
 
 from repro.runtime.aio import AsyncStudyRunner, TelemetryBridge
 from repro.runtime.options import RuntimeOptions, ensure_runtime
@@ -51,13 +51,19 @@ _STREAM_END = None
 class Job:
     """One fingerprinted unit of work and everything observed about it."""
 
-    def __init__(self, job_id: str, query: ServiceQuery, fingerprint: str) -> None:
+    def __init__(
+        self,
+        job_id: str,
+        query: ServiceQuery,
+        fingerprint: str,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
         self.id = job_id
         self.query = query
         self.fingerprint = fingerprint
         self.state = QUEUED
         self.submissions = 1  # how many client submissions share this job
-        self.created_s = time.time()
+        self.created_s = clock()
         self.telemetry = SweepTelemetry()
         self.events: list[dict] = []  # replayable SSE payloads
         self.outcome: Optional[StudyOutcome] = None
@@ -121,9 +127,14 @@ class JobManager:
         runtime: Optional[RuntimeOptions] = None,
         workers: int = 2,
         job_retries: int = 2,
+        clock: Callable[[], float] = time.time,
     ):
         self.runtime = ensure_runtime(runtime)
         self.workers = max(1, int(workers))
+        #: Injectable wall clock (tests freeze it; the linter's
+        #: determinism rule bans bare time.time() on fingerprinted
+        #: paths, and an injected clock keeps job records replayable).
+        self.clock = clock
         #: Re-attempts granted to a job failing with a *transient*
         #: infrastructure error (broken pool, injected chaos) before the
         #: failure is recorded; deterministic failures never retry.
@@ -205,7 +216,7 @@ class JobManager:
                 existing.submissions += 1
                 return existing, ("memo" if existing.finished else "coalesced")
         self._next_id += 1
-        job = Job(f"job-{self._next_id:06d}", query, key)
+        job = Job(f"job-{self._next_id:06d}", query, key, clock=self.clock)
         self.jobs[job.id] = job
         self._by_key[key] = job
         self._queue.put_nowait(job)

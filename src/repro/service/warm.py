@@ -22,6 +22,7 @@ import logging
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.runtime.cache import atomic_write_text
 from repro.runtime.shard import schema_tags
 from repro.service.jobs import DONE, JobManager
 from repro.service.requests import resolve_request
@@ -66,7 +67,11 @@ class WarmKeeper:
             self._memory_stamp = stamp
             return
         self._stamp_path.parent.mkdir(parents=True, exist_ok=True)
-        self._stamp_path.write_text(json.dumps(stamp, indent=2, sort_keys=True))
+        # Atomic: a warm pass killed mid-stamp must not leave a truncated
+        # stamp that the next start misparses into "everything is cold".
+        atomic_write_text(
+            self._stamp_path, json.dumps(stamp, indent=2, sort_keys=True)
+        )
 
     # -- warming -----------------------------------------------------------
 

@@ -1,0 +1,596 @@
+"""The invariant linter: rule engine, rules, suppressions, baseline, CLI."""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis import run_lint
+from repro.analysis.cli import apply_baseline, main as lint_main, write_baseline
+from repro.analysis.determinism import DeterminismRule
+from repro.analysis.drift import SchemaDriftRule, compute_pins, write_pins
+from repro.analysis.engine import SUPPRESSION_RULE_ID
+from repro.analysis.exceptions import ExceptSafetyRule
+from repro.analysis.iodiscipline import AtomicWriteRule
+from repro.analysis.locks import LockCoverageRule
+
+SRC_REPRO = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def make_tree(tmp_path, files):
+    """Materialize ``{relpath: source}`` under a ``repro`` package root.
+
+    Files mirror real module names (``nvsim/model.py`` ->
+    ``repro.nvsim.model``) so default rule configurations apply to the
+    fixture unchanged.
+    """
+    root = tmp_path / "repro"
+    for rel, body in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(body).lstrip("\n"), encoding="utf-8")
+    return root
+
+
+def rule_findings(root, rule):
+    return run_lint(root, rules=[rule]).findings
+
+
+# -- determinism -------------------------------------------------------------
+
+
+class TestDeterminismRule:
+    def test_wall_clock_in_root_package_is_flagged(self, tmp_path):
+        files = {
+            "nvsim/model.py": """
+                import time
+
+                def characterize():
+                    return time.time()
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        findings = rule_findings(root, DeterminismRule())
+        assert len(findings) == 1
+        assert findings[0].rule == "determinism"
+        assert "time.time" in findings[0].message
+
+    def test_reachability_crosses_module_boundaries(self, tmp_path):
+        files = {
+            "util.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+            "nvsim/model.py": """
+                from repro.util import stamp
+
+                def characterize():
+                    return stamp()
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        findings = rule_findings(root, DeterminismRule())
+        assert len(findings) == 1
+        assert findings[0].path == "repro/util.py"
+        assert "reachable from fingerprinted root" in findings[0].message
+
+    def test_unreachable_helper_is_not_flagged(self, tmp_path):
+        files = {
+            "util.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+            "nvsim/model.py": """
+                def characterize():
+                    return 42
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        assert rule_findings(root, DeterminismRule()) == []
+
+    def test_fingerprint_caller_becomes_a_seed(self, tmp_path):
+        files = {
+            "runtime/fingerprint.py": """
+                def point_fingerprint(payload):
+                    return str(payload)
+            """,
+            "runtime/engine.py": """
+                import random
+
+                from repro.runtime.fingerprint import point_fingerprint
+
+                def key_for(point):
+                    point_fingerprint(point)
+                    return random.random()
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        findings = rule_findings(root, DeterminismRule())
+        assert any("random.random" in f.message for f in findings)
+
+    def test_unsorted_iterdir_flagged_sorted_is_not(self, tmp_path):
+        files = {
+            "nvsim/store.py": """
+                def bad(root):
+                    return [p.name for p in root.iterdir()]
+
+                def good(root):
+                    return [p.name for p in sorted(root.iterdir())]
+
+                def counted(root):
+                    return len(list(root.glob("*.json")))
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        findings = rule_findings(root, DeterminismRule())
+        assert len(findings) == 1
+        assert ".iterdir()" in findings[0].message
+        assert findings[0].line == 2
+
+    def test_set_iteration_flagged_sorted_is_not(self, tmp_path):
+        files = {
+            "nvsim/interp.py": """
+                def bad(lo, hi):
+                    return [k for k in set(lo) | set(hi)]
+
+                def good(lo, hi):
+                    return [k for k in sorted(set(lo) | set(hi))]
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        findings = rule_findings(root, DeterminismRule())
+        assert len(findings) == 1
+        assert "undefined" in findings[0].message
+
+    def test_monotonic_clocks_are_allowed(self, tmp_path):
+        files = {
+            "nvsim/model.py": """
+                import time
+
+                def timed():
+                    return time.perf_counter() - time.monotonic()
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        assert rule_findings(root, DeterminismRule()) == []
+
+
+# -- suppressions ------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_inline_suppression_with_reason_waives(self, tmp_path):
+        files = {
+            "nvsim/model.py": """
+                import time
+
+                def characterize():
+                    return time.time()  # repro: allow[determinism] display only
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        result = run_lint(root, rules=[DeterminismRule()])
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0][1].reason == "display only"
+
+    def test_suppression_on_line_above(self, tmp_path):
+        files = {
+            "nvsim/model.py": """
+                import time
+
+                def characterize():
+                    # repro: allow[determinism] display only
+                    return time.time()
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        result = run_lint(root, rules=[DeterminismRule()])
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+    def test_suppression_without_reason_is_a_finding(self, tmp_path):
+        files = {
+            "nvsim/model.py": """
+                import time
+
+                def characterize():
+                    return time.time()  # repro: allow[determinism]
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        result = run_lint(root, rules=[DeterminismRule()])
+        rules = {f.rule for f in result.findings}
+        # The reasonless waiver does not waive, and is itself flagged.
+        assert rules == {"determinism", SUPPRESSION_RULE_ID}
+
+    def test_unused_suppression_is_reported_not_fatal(self, tmp_path):
+        files = {
+            "nvsim/model.py": """
+                def characterize():
+                    return 42  # repro: allow[determinism] stale waiver
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        result = run_lint(root, rules=[DeterminismRule()])
+        assert result.findings == []
+        assert len(result.unused_suppressions) == 1
+        assert "no longer waives" in result.unused_suppressions[0].message
+
+
+# -- atomic-write ------------------------------------------------------------
+
+
+class TestAtomicWriteRule:
+    def test_bare_write_text_is_flagged(self, tmp_path):
+        files = {
+            "runtime/cache.py": """
+                def save(path, text):
+                    path.write_text(text)
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        findings = rule_findings(root, AtomicWriteRule())
+        assert len(findings) == 1
+        assert "write_text" in findings[0].message
+
+    def test_staged_replace_in_same_function_is_compliant(self, tmp_path):
+        files = {
+            "runtime/cache.py": """
+                import os
+
+                def save(path, tmp, text):
+                    tmp.write_text(text)
+                    os.replace(tmp, path)
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        assert rule_findings(root, AtomicWriteRule()) == []
+
+    def test_open_for_write_is_flagged_read_is_not(self, tmp_path):
+        files = {
+            "runtime/cache.py": """
+                def save(path, text):
+                    with open(path, "w") as fh:
+                        fh.write(text)
+
+                def load(path):
+                    with open(path) as fh:
+                        return fh.read()
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        findings = rule_findings(root, AtomicWriteRule())
+        assert len(findings) == 1
+        assert findings[0].line == 2
+
+    def test_atomic_helper_is_compliant(self, tmp_path):
+        files = {
+            "runtime/cache.py": """
+                from repro.runtime.io import atomic_write_text
+
+                def save(path, text):
+                    atomic_write_text(path, text)
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        assert rule_findings(root, AtomicWriteRule()) == []
+
+    def test_modules_outside_persistence_set_are_ignored(self, tmp_path):
+        files = {
+            "viz/report.py": """
+                def save(path, text):
+                    path.write_text(text)
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        assert rule_findings(root, AtomicWriteRule()) == []
+
+
+# -- lock-coverage -----------------------------------------------------------
+
+
+class TestLockCoverageRule:
+    def test_unlocked_counter_bump_is_flagged(self, tmp_path):
+        files = {
+            "runtime/telemetry.py": """
+                import threading
+
+                class SweepTelemetry:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        with self._lock:
+                            self.completed = 0
+
+                    def bump(self):
+                        self.completed += 1
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        findings = rule_findings(root, LockCoverageRule())
+        assert len(findings) == 1
+        assert "self.completed" in findings[0].message
+        assert findings[0].line == 10
+
+    def test_locked_mutation_and_documented_helper_pass(self, tmp_path):
+        files = {
+            "runtime/telemetry.py": """
+                import threading
+
+                class SweepTelemetry:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        with self._lock:
+                            self.completed = 0
+                            self.failures = []
+
+                    def bump(self):
+                        with self._lock:
+                            self.completed += 1
+                            self.failures.append("x")
+
+                    def _count(self, n):
+                        \"\"\"Caller holds the lock.\"\"\"
+                        self.completed += n
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        assert rule_findings(root, LockCoverageRule()) == []
+
+    def test_in_place_container_mutation_is_flagged(self, tmp_path):
+        files = {
+            "runtime/telemetry.py": """
+                import threading
+
+                class SweepTelemetry:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        with self._lock:
+                            self.failures = []
+
+                    def record(self, item):
+                        self.failures.append(item)
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        findings = rule_findings(root, LockCoverageRule())
+        assert len(findings) == 1
+        assert "in-place mutation" in findings[0].message
+
+
+# -- except-safety -----------------------------------------------------------
+
+
+class TestExceptSafetyRule:
+    def test_bare_except_is_flagged(self, tmp_path):
+        files = {
+            "runtime/worker.py": """
+                def run(task):
+                    try:
+                        task()
+                    except:
+                        pass
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        findings = rule_findings(root, ExceptSafetyRule())
+        assert len(findings) == 1
+        assert "bare `except:`" in findings[0].message
+
+    def test_swallowed_interrupt_is_flagged_reraise_is_not(self, tmp_path):
+        files = {
+            "runtime/worker.py": """
+                def swallow(task):
+                    try:
+                        task()
+                    except KeyboardInterrupt:
+                        pass
+
+                def cleanup(task, tmp):
+                    try:
+                        task()
+                    except BaseException:
+                        tmp.unlink(missing_ok=True)
+                        raise
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        findings = rule_findings(root, ExceptSafetyRule())
+        assert len(findings) == 1
+        assert "KeyboardInterrupt" in findings[0].message
+        assert findings[0].line == 4
+
+    def test_out_of_scope_modules_are_ignored(self, tmp_path):
+        files = {
+            "viz/plots.py": """
+                def render(fn):
+                    try:
+                        fn()
+                    except:
+                        pass
+            """,
+        }
+        root = make_tree(tmp_path, files)
+        assert rule_findings(root, ExceptSafetyRule()) == []
+
+
+# -- schema-drift (fixture-level; the real tree is tested in
+# test_analysis_drift.py) --------------------------------------------------
+
+
+MOD_V1 = """
+MY_SCHEMA_TAG = "my-store-v1"
+
+
+def payload(x):
+    return {"schema": MY_SCHEMA_TAG, "value": x}
+"""
+
+REGISTRY = {"MY_SCHEMA_TAG": ("repro.mod", ("repro.mod",))}
+
+
+class TestSchemaDriftRule:
+    def make_rule(self, tmp_path):
+        return SchemaDriftRule(pins_path=tmp_path / "pins.json", registry=REGISTRY)
+
+    def pin(self, tmp_path):
+        write_pins(tmp_path / "pins.json", compute_pins(tmp_path, REGISTRY))
+
+    def test_unpinned_tag_is_flagged(self, tmp_path):
+        root = make_tree(tmp_path, {"mod.py": MOD_V1})
+        findings = rule_findings(root, self.make_rule(tmp_path))
+        assert len(findings) == 1
+        assert "no pinned source digest" in findings[0].message
+
+    def test_pinned_and_unchanged_is_clean(self, tmp_path):
+        root = make_tree(tmp_path, {"mod.py": MOD_V1})
+        self.pin(tmp_path)
+        assert rule_findings(root, self.make_rule(tmp_path)) == []
+
+    def test_source_drift_without_tag_bump_fails(self, tmp_path):
+        root = make_tree(tmp_path, {"mod.py": MOD_V1})
+        self.pin(tmp_path)
+        (root / "mod.py").write_text(
+            MOD_V1.replace('"value": x', '"value": x * 2'), encoding="utf-8"
+        )
+        findings = rule_findings(root, self.make_rule(tmp_path))
+        assert len(findings) == 1
+        assert "without a tag bump" in findings[0].message
+        assert "bump MY_SCHEMA_TAG" in findings[0].message
+
+    def test_tag_bump_asks_for_repin_only(self, tmp_path):
+        root = make_tree(tmp_path, {"mod.py": MOD_V1})
+        self.pin(tmp_path)
+        (root / "mod.py").write_text(
+            MOD_V1.replace("my-store-v1", "my-store-v2"), encoding="utf-8"
+        )
+        findings = rule_findings(root, self.make_rule(tmp_path))
+        assert len(findings) == 1
+        assert "tag value changed" in findings[0].message
+        assert "--update-pins" in findings[0].message
+
+    def test_repin_after_reviewed_change_is_clean(self, tmp_path):
+        root = make_tree(tmp_path, {"mod.py": MOD_V1})
+        self.pin(tmp_path)
+        (root / "mod.py").write_text(
+            MOD_V1.replace("my-store-v1", "my-store-v2"), encoding="utf-8"
+        )
+        self.pin(tmp_path)
+        assert rule_findings(root, self.make_rule(tmp_path)) == []
+
+    def test_unregistered_tag_constant_is_flagged(self, tmp_path):
+        files = {
+            "mod.py": MOD_V1,
+            "other.py": 'ROGUE_SCHEMA_TAG = "rogue-v1"\n',
+        }
+        root = make_tree(tmp_path, files)
+        self.pin(tmp_path)
+        findings = rule_findings(root, self.make_rule(tmp_path))
+        assert len(findings) == 1
+        assert "ROGUE_SCHEMA_TAG" in findings[0].message
+        assert "not covered" in findings[0].message
+
+
+# -- baseline + CLI ----------------------------------------------------------
+
+
+DIRTY_TREE = {
+    "nvsim/model.py": """
+        import time
+
+        def characterize():
+            return time.time()
+    """,
+}
+
+
+class TestBaselineAndCli:
+    def test_apply_baseline_splits_and_reports_stale(self, tmp_path):
+        root = make_tree(tmp_path, DIRTY_TREE)
+        result = run_lint(root, rules=[DeterminismRule()])
+        entries = [{"rule": f.rule, "path": f.path, "context": f.context} for f in result.findings]
+        entries.append({"rule": "determinism", "path": "repro/gone.py", "context": "x"})
+        active, baselined, stale = apply_baseline(result, entries)
+        assert active == []
+        assert len(baselined) == 1
+        assert len(stale) == 1 and stale[0]["path"] == "repro/gone.py"
+
+    def test_baseline_survives_line_drift(self, tmp_path):
+        root = make_tree(tmp_path, DIRTY_TREE)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, run_lint(root, rules=[DeterminismRule()]).findings)
+        # Shift the violation down; the (rule, path, context) key still
+        # matches.
+        path = root / "nvsim" / "model.py"
+        path.write_text("# header\n" + path.read_text(), encoding="utf-8")
+        result = run_lint(root, rules=[DeterminismRule()])
+        active, baselined, stale = apply_baseline(
+            result, json.loads(baseline.read_text())["findings"]
+        )
+        assert active == [] and len(baselined) == 1 and stale == []
+
+    def test_cli_exit_codes_and_json(self, tmp_path, capsys):
+        root = make_tree(tmp_path, DIRTY_TREE)
+        rc = lint_main([str(root), "--json", "--no-baseline"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["clean"] is False
+        assert any(v["rule"] == "determinism" for v in payload["violations"])
+
+    def test_cli_clean_tree_exits_zero(self, tmp_path, capsys):
+        files = {
+            "nvsim/model.py": "def characterize():\n    return 42\n",
+        }
+        root = make_tree(tmp_path, files)
+        assert lint_main([str(root), "--no-baseline"]) == 0
+
+    def test_cli_write_baseline_then_clean(self, tmp_path, capsys):
+        root = make_tree(tmp_path, DIRTY_TREE)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(root), "--write-baseline", "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert lint_main([str(root), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_cli_missing_root_is_usage_error(self, tmp_path):
+        assert lint_main([str(tmp_path / "nope")]) == 2
+
+    def test_cli_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "determinism",
+            "schema-drift",
+            "atomic-write",
+            "lock-coverage",
+            "except-safety",
+        ):
+            assert rule_id in out
+
+
+# -- the repo lints itself ---------------------------------------------------
+
+
+class TestSelfLint:
+    def test_src_repro_is_clean_modulo_baseline(self, capsys):
+        rc = lint_main([str(SRC_REPRO), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["violations"] == [], (
+            "src/repro violates its own invariants:\n"
+            + "\n".join(
+                f"{v['path']}:{v['line']}: [{v['rule']}] {v['message']}"
+                for v in payload["violations"]
+            )
+        )
+        assert rc == 0
+
+    def test_baseline_holds_at_most_ten_entries(self):
+        from repro.analysis.cli import DEFAULT_BASELINE_PATH, load_baseline
+
+        entries = load_baseline(DEFAULT_BASELINE_PATH)
+        assert entries is not None, "committed lint baseline missing/invalid"
+        assert len(entries) <= 10
